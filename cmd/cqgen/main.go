@@ -1,0 +1,158 @@
+// Command cqgen prints the conjunctive-query sets the paper's Section 3
+// and Section 5 pipelines generate for a sample graph — the machinery
+// behind Figures 5, 6 and 7.
+//
+// Usage:
+//
+//	cqgen -sample lollipop          # Section 3: orderings → quotient → merge
+//	cqgen -cycle 6                  # Section 5: run-sequence CQs for C_6
+//	cqgen -sample square -shares 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"subgraphmr"
+	"subgraphmr/internal/cq"
+	"subgraphmr/internal/cycles"
+	"subgraphmr/internal/perm"
+	"subgraphmr/internal/shares"
+)
+
+func main() {
+	var (
+		sampleName = flag.String("sample", "", "sample graph name (see sgmr -help)")
+		cycleP     = flag.Int("cycle", 0, "generate Section 5 cycle CQs for C_p")
+		k          = flag.Float64("shares", 0, "if > 0, also print optimal shares for this reducer budget")
+	)
+	flag.Parse()
+
+	switch {
+	case *cycleP >= 3:
+		printCycleCQs(*cycleP)
+	case *sampleName != "":
+		s := subgraphmr.NamedSample(*sampleName)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "cqgen: unknown sample %q\n", *sampleName)
+			os.Exit(1)
+		}
+		printSampleCQs(s, *k)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printSampleCQs(s *subgraphmr.Sample, k float64) {
+	fmt.Printf("sample graph: %v\n", s)
+	auts := s.Automorphisms()
+	fmt.Printf("automorphism group: %d elements; Sym(%d) has %d; quotient size %d\n",
+		len(auts), s.P(), int(perm.Factorial(s.P())), int(perm.Factorial(s.P()))/len(auts))
+	fmt.Println()
+
+	all := cq.GenerateForSample(s)
+	fmt.Printf("== %d CQs, one per coset of Sym(p)/Aut(S) (Theorem 3.1) ==\n", len(all))
+	for i, q := range all {
+		fmt.Printf("%3d. %s\n", i+1, q)
+	}
+	fmt.Println()
+
+	groups := cq.OrientationGroups(all)
+	fmt.Printf("== orientation groups (Fig. 6 style) ==\n")
+	for i, grp := range groups {
+		fmt.Printf("group %d: CQs %v\n", i+1, grp)
+	}
+	fmt.Println()
+
+	merged := cq.MergeByOrientation(all)
+	fmt.Printf("== %d merged CQs with OR-ed conditions (Section 3.3, Fig. 7 style) ==\n", len(merged))
+	for i, q := range merged {
+		exact := ""
+		if !q.ExactSimplified {
+			exact = "  (condition shown is a relaxation; evaluation uses the exact order set)"
+		}
+		fmt.Printf("%3d. %s%s\n", i+1, q, exact)
+	}
+	fmt.Println()
+
+	uses := cq.EdgeUses(merged)
+	fmt.Printf("== edge orientations across the merged set (Section 4.3) ==\n")
+	for _, u := range uses {
+		kind := "unidirectional (relation size e)"
+		if u.Bidirectional() {
+			kind = "bidirectional (relation size 2e)"
+		}
+		fmt.Printf("  %s-%s: %s\n", s.Name(u.I), s.Name(u.J), kind)
+	}
+
+	if k > 0 {
+		fmt.Println()
+		model := shares.ModelFromEdgeUses(s.P(), uses)
+		sol, err := model.Solve(k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cqgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== optimal shares for k=%v reducers (variable-oriented) ==\n", k)
+		for v := 0; v < s.P(); v++ {
+			dom := ""
+			if sol.Dominated[v] {
+				dom = " (dominated)"
+			}
+			fmt.Printf("  share(%s) = %.3f%s\n", s.Name(v), sol.Shares[v], dom)
+		}
+		fmt.Printf("  communication cost: %.2f per data edge\n", sol.CostPerEdge)
+		ints := model.RoundShares(sol.Shares, k)
+		fs := make([]float64, len(ints))
+		for i, v := range ints {
+			fs[i] = float64(v)
+		}
+		fmt.Printf("  integer shares %v -> %.2f per edge, %d reducers\n",
+			ints, model.CostPerEdge(fs), intProduct(ints))
+		degrees := make([]int, s.P())
+		for i := range degrees {
+			degrees[i] = s.Degree(i)
+		}
+		if closed, which := shares.Theorem43Shares(s.P(), degrees, uses, k); which != shares.Theorem43None {
+			fmt.Printf("  Theorem 4.3 %v closed form: %v -> %.2f per edge\n",
+				which, closed, model.CostPerEdge(closed))
+		}
+	}
+}
+
+func printCycleCQs(p int) {
+	ccs := cycles.Generate(p)
+	fmt.Printf("== Section 5 run-sequence CQs for C_%d: %d classes ==\n", p, len(ccs))
+	fmt.Printf("conditional upper bound (2^p-2)/(2p) = %.2f\n\n", cycles.ConditionalUpperBound(p))
+	for i, c := range ccs {
+		var tags []string
+		if c.Period < p {
+			tags = append(tags, fmt.Sprintf("period %d", c.Period))
+		}
+		if c.Palindrome {
+			tags = append(tags, "palindrome")
+		}
+		for _, r := range c.Reflections {
+			if r != 0 {
+				tags = append(tags, fmt.Sprintf("reflection@%d", r))
+			}
+		}
+		suffix := ""
+		if len(tags) > 0 {
+			suffix = " [" + strings.Join(tags, ", ") + "]"
+		}
+		fmt.Printf("%2d. orientation %s  runs %v%s\n", i+1, c.Orientation, c.Runs, suffix)
+		fmt.Printf("    %s\n", c.CQ)
+	}
+}
+
+func intProduct(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}

@@ -1,0 +1,73 @@
+// Command graphgen writes synthetic data graphs in the edge-list format
+// the rest of the toolchain reads.
+//
+// Usage:
+//
+//	graphgen -type gnm -n 10000 -m 80000 -seed 3 -o graph.txt
+//	graphgen -type powerlaw -n 5000 -avgdeg 10 -exponent 2.2 | sgmr -data - -sample triangle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"subgraphmr"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "gnm", "generator: gnm, gnp, powerlaw, cycle, complete, grid, tree")
+		n        = flag.Int("n", 1000, "nodes")
+		m        = flag.Int("m", 5000, "edges (gnm)")
+		prob     = flag.Float64("p", 0.01, "edge probability (gnp)")
+		avgDeg   = flag.Float64("avgdeg", 8, "average degree (powerlaw)")
+		exponent = flag.Float64("exponent", 2.3, "exponent (powerlaw)")
+		delta    = flag.Int("delta", 4, "degree (tree)")
+		depth    = flag.Int("depth", 5, "depth (tree)")
+		rows     = flag.Int("rows", 30, "rows (grid)")
+		cols     = flag.Int("cols", 30, "cols (grid)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *subgraphmr.Graph
+	switch *typ {
+	case "gnm":
+		g = subgraphmr.Gnm(*n, *m, *seed)
+	case "gnp":
+		g = subgraphmr.Gnp(*n, *prob, *seed)
+	case "powerlaw":
+		g = subgraphmr.PowerLaw(*n, *avgDeg, *exponent, *seed)
+	case "ba":
+		g = subgraphmr.BarabasiAlbert(*n, 4, 3, *seed)
+	case "cycle":
+		g = subgraphmr.CycleGraph(*n)
+	case "complete":
+		g = subgraphmr.CompleteGraph(*n)
+	case "grid":
+		g = subgraphmr.GridGraph(*rows, *cols)
+	case "tree":
+		g = subgraphmr.RegularTree(*delta, *depth)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown type %q\n", *typ)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := subgraphmr.WriteGraph(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: wrote n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+}

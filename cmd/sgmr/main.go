@@ -1,0 +1,205 @@
+// Command sgmr enumerates instances of a sample graph in a data graph
+// using the paper's single-round map-reduce algorithms.
+//
+// Usage:
+//
+//	sgmr -sample triangle -gen gnm -n 1000 -m 5000 [-strategy bucket] [-k 1024]
+//	sgmr -sample lollipop -data graph.txt -strategy variable -k 500 -print
+//
+// The data graph comes from -data (edge-list file; "-" for stdin) or from
+// a generator (-gen gnm|gnp|powerlaw|cycle|complete|grid|tree with -n, -m,
+// -p, -delta, -depth, -seed). Statistics (communication cost, reducers,
+// skew, reducer work) are always printed; -print also lists instances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"subgraphmr"
+)
+
+func main() {
+	var (
+		sampleName = flag.String("sample", "triangle", "sample graph: triangle, square, lollipop, c3..c12, k2..k8, path2..8, star2..8, q3")
+		dataFile   = flag.String("data", "", "data graph edge-list file (\"-\" for stdin); overrides -gen")
+		gen        = flag.String("gen", "gnm", "generator: gnm, gnp, powerlaw, cycle, complete, grid, tree")
+		n          = flag.Int("n", 300, "nodes for generators")
+		m          = flag.Int("m", 1500, "edges for gnm")
+		prob       = flag.Float64("p", 0.05, "edge probability for gnp / power-law exponent offset")
+		avgDeg     = flag.Float64("avgdeg", 8, "average degree for powerlaw")
+		exponent   = flag.Float64("exponent", 2.3, "power-law exponent")
+		delta      = flag.Int("delta", 4, "degree for tree generator")
+		depth      = flag.Int("depth", 5, "depth for tree generator")
+		rows       = flag.Int("rows", 20, "rows for grid generator")
+		cols       = flag.Int("cols", 20, "cols for grid generator")
+		genSeed    = flag.Int64("seed", 1, "generator seed")
+		strategy   = flag.String("strategy", "bucket", "strategy: bucket, variable, cq, serial, serial-decompose, serial-degree, cascade (triangles), doulion (triangles)")
+		k          = flag.Int("k", 1024, "target reducers (share-based strategies) / bucket budget")
+		buckets    = flag.Int("b", 0, "bucket count override for the bucket strategy")
+		cyclesCQ   = flag.Bool("cyclecqs", false, "use the Section 5 cycle CQ generator (cycle samples only)")
+		countOnly  = flag.Bool("count", false, "count instances without materializing them")
+		hashSeed   = flag.Uint64("hashseed", 7, "bucket hash seed")
+		doulionQ   = flag.Float64("q", 0.25, "edge keep probability for the doulion strategy")
+		trials     = flag.Int("trials", 8, "trials for the doulion strategy")
+		printAll   = flag.Bool("print", false, "print every instance")
+	)
+	flag.Parse()
+
+	s := subgraphmr.NamedSample(*sampleName)
+	if s == nil {
+		fatalf("unknown sample %q", *sampleName)
+	}
+	g, err := loadGraph(*dataFile, *gen, *n, *m, *prob, *avgDeg, *exponent, *delta, *depth, *rows, *cols, *genSeed)
+	if err != nil {
+		fatalf("loading data graph: %v", err)
+	}
+	fmt.Printf("data graph: n=%d m=%d maxdeg=%d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
+	fmt.Printf("sample: %v (p=%d, |Aut|=%d)\n", s, s.P(), len(s.Automorphisms()))
+
+	var instances [][]subgraphmr.Node
+	switch *strategy {
+	case "serial":
+		instances = subgraphmr.BruteForce(g, s)
+		fmt.Printf("strategy: serial brute force\n")
+	case "serial-decompose":
+		var work int64
+		instances, work, err = subgraphmr.EnumerateByDecomposition(g, s, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("strategy: serial decomposition (Theorem 7.2), work=%d\n", work)
+	case "serial-degree":
+		var work int64
+		instances, work, err = subgraphmr.EnumerateBoundedDegree(g, s)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("strategy: serial bounded-degree (Theorem 7.3), work=%d\n", work)
+	case "cascade":
+		if *sampleName != "triangle" {
+			fatalf("the cascade baseline supports -sample triangle only")
+		}
+		res := subgraphmr.TwoRoundTriangles(g)
+		fmt.Printf("strategy: two-round cascade of two-way joins (baseline)\n")
+		fmt.Printf("  round 1 comm=%d (wedges materialized: %d)\n", res.Round1.KeyValuePairs, res.Wedges)
+		fmt.Printf("  round 2 comm=%d\n", res.Round2.KeyValuePairs)
+		fmt.Printf("  total comm=%d (%.2f/edge)\n", res.TotalComm(),
+			float64(res.TotalComm())/float64(g.NumEdges()))
+		fmt.Printf("instances found: %d\n", res.Count())
+		return
+	case "doulion":
+		if *sampleName != "triangle" {
+			fatalf("the doulion baseline supports -sample triangle only")
+		}
+		est := subgraphmr.DoulionTriangles(g, *doulionQ, *trials, *genSeed)
+		fmt.Printf("strategy: doulion probabilistic counting (q=%.2f, %d trials)\n", *doulionQ, *trials)
+		fmt.Printf("estimated triangles: %.0f\n", est)
+		return
+	case "bucket", "variable", "cq":
+		opt := subgraphmr.Options{
+			TargetReducers: *k,
+			Buckets:        *buckets,
+			UseCycleCQs:    *cyclesCQ,
+			CountOnly:      *countOnly,
+			Seed:           *hashSeed,
+		}
+		switch *strategy {
+		case "bucket":
+			opt.Strategy = subgraphmr.BucketOriented
+		case "variable":
+			opt.Strategy = subgraphmr.VariableOriented
+		case "cq":
+			opt.Strategy = subgraphmr.CQOriented
+		}
+		res, err := subgraphmr.Enumerate(g, s, opt)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		instances = res.Instances
+		if *countOnly {
+			fmt.Printf("strategy: %v (count-only), %d CQ(s), %d job(s)\n", opt.Strategy, res.NumCQs, len(res.Jobs))
+			fmt.Printf("instances counted: %d\n", res.Count)
+		} else {
+			fmt.Printf("strategy: %v, %d CQ(s), %d job(s)\n", opt.Strategy, res.NumCQs, len(res.Jobs))
+		}
+		for _, job := range res.Jobs {
+			fmt.Printf("  job %q shares=%v\n", job.Label, job.Shares)
+			fmt.Printf("    predicted comm/edge=%.2f (fractional optimum %.2f)\n",
+				job.PredictedCommPerEdge, job.OptimalCommPerEdge)
+			mt := job.Metrics
+			fmt.Printf("    measured: comm=%d (%.2f/edge) reducers=%d maxload=%d work=%d\n",
+				mt.KeyValuePairs, float64(mt.KeyValuePairs)/float64(g.NumEdges()),
+				mt.DistinctKeys, mt.MaxReducerInput, mt.ReducerWork)
+		}
+		fmt.Printf("total communication: %d key-value pairs\n", res.TotalComm())
+	default:
+		fatalf("unknown strategy %q", *strategy)
+	}
+
+	if *countOnly {
+		return
+	}
+	fmt.Printf("instances found: %d\n", len(instances))
+	if *printAll {
+		sorted := append([][]subgraphmr.Node(nil), instances...)
+		sort.Slice(sorted, func(i, j int) bool {
+			a, b := sorted[i], sorted[j]
+			for x := range a {
+				if a[x] != b[x] {
+					return a[x] < b[x]
+				}
+			}
+			return false
+		})
+		for _, phi := range sorted {
+			for i, u := range phi {
+				if i > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%s=%d", s.Name(i), u)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func loadGraph(dataFile, gen string, n, m int, prob, avgDeg, exponent float64, delta, depth, rows, cols int, seed int64) (*subgraphmr.Graph, error) {
+	if dataFile != "" {
+		if dataFile == "-" {
+			return subgraphmr.ReadGraph(os.Stdin)
+		}
+		f, err := os.Open(dataFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return subgraphmr.ReadGraph(f)
+	}
+	switch gen {
+	case "gnm":
+		return subgraphmr.Gnm(n, m, seed), nil
+	case "gnp":
+		return subgraphmr.Gnp(n, prob, seed), nil
+	case "powerlaw":
+		return subgraphmr.PowerLaw(n, avgDeg, exponent, seed), nil
+	case "ba":
+		return subgraphmr.BarabasiAlbert(n, 4, 3, seed), nil
+	case "cycle":
+		return subgraphmr.CycleGraph(n), nil
+	case "complete":
+		return subgraphmr.CompleteGraph(n), nil
+	case "grid":
+		return subgraphmr.GridGraph(rows, cols), nil
+	case "tree":
+		return subgraphmr.RegularTree(delta, depth), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", gen)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sgmr: "+format+"\n", args...)
+	os.Exit(1)
+}

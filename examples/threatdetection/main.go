@@ -1,0 +1,110 @@
+// Threat detection: find collusion rings in a transaction network.
+//
+// The paper's Section 1.1 motivates subgraph enumeration with threat
+// queries ("find all instances of five people booked on the same flight
+// each of whom ..."). This example plants rings of length 5 and 6 — the
+// classic shape of circular-trading / money-cycling schemes — in a sparse
+// random transaction graph and recovers every planted ring (plus any that
+// arise by chance) with the Section 5 cycle CQs, which need only 3 CQs for
+// C5 instead of the general method's larger set.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"subgraphmr"
+)
+
+func main() {
+	const (
+		accounts   = 3000
+		background = 6000 // random background transactions
+		rings5     = 4
+		rings6     = 3
+	)
+	rng := rand.New(rand.NewSource(99))
+	b := subgraphmr.NewGraphBuilder(accounts)
+
+	// Plant rings on disjoint account sets (so we know the ground truth).
+	next := subgraphmr.Node(0)
+	plant := func(size int) []subgraphmr.Node {
+		ring := make([]subgraphmr.Node, size)
+		for i := range ring {
+			ring[i] = next
+			next++
+		}
+		for i := range ring {
+			b.AddEdge(ring[i], ring[(i+1)%size])
+		}
+		return ring
+	}
+	var planted5, planted6 [][]subgraphmr.Node
+	for i := 0; i < rings5; i++ {
+		planted5 = append(planted5, plant(5))
+	}
+	for i := 0; i < rings6; i++ {
+		planted6 = append(planted6, plant(6))
+	}
+
+	// Background noise: sparse random transactions (too sparse to create
+	// many accidental rings, as in real payment graphs).
+	for b.NumEdges() < background {
+		u := subgraphmr.Node(rng.Intn(accounts))
+		v := subgraphmr.Node(rng.Intn(accounts))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Graph()
+	fmt.Printf("transaction graph: n=%d m=%d (planted %d C5 rings, %d C6 rings)\n\n",
+		g.NumNodes(), g.NumEdges(), rings5, rings6)
+
+	for _, tc := range []struct {
+		p       int
+		planted [][]subgraphmr.Node
+	}{{5, planted5}, {6, planted6}} {
+		// Section 5 cycle CQs: 3 CQs for C5, 8 for C6 — versus the general
+		// Section 3 pipeline's larger merged sets.
+		res, err := subgraphmr.Enumerate(g, subgraphmr.CycleSample(tc.p), subgraphmr.Options{
+			Strategy:    subgraphmr.BucketOriented,
+			Buckets:     5,
+			UseCycleCQs: true,
+			Seed:        3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== rings of length %d: found %d using %d cycle CQs ==\n",
+			tc.p, len(res.Instances), res.NumCQs)
+		job := res.Jobs[0]
+		fmt.Printf("   comm=%d pairs (%.1f/edge), %d reducers, reducer work=%d\n",
+			job.Metrics.KeyValuePairs,
+			float64(job.Metrics.KeyValuePairs)/float64(g.NumEdges()),
+			job.Metrics.DistinctKeys, job.Metrics.ReducerWork)
+
+		// Verify every planted ring was recovered.
+		found := map[string]bool{}
+		cs := subgraphmr.CycleSample(tc.p)
+		for _, phi := range res.Instances {
+			found[cs.Key(phi)] = true
+		}
+		recovered := 0
+		for _, ring := range tc.planted {
+			if found[cs.Key(ring)] {
+				recovered++
+			}
+		}
+		fmt.Printf("   planted rings recovered: %d/%d; incidental rings: %d\n\n",
+			recovered, len(tc.planted), len(res.Instances)-recovered)
+		if recovered != len(tc.planted) {
+			log.Fatalf("missed a planted ring — enumeration is incomplete")
+		}
+	}
+
+	// The serial Algorithm 1 (OddCycle) cross-checks the C5 census.
+	count := 0
+	subgraphmr.OddCycles(g, 2, func([]subgraphmr.Node) { count++ })
+	fmt.Printf("serial OddCycle cross-check: %d rings of length 5\n", count)
+}

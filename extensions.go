@@ -1,0 +1,106 @@
+package subgraphmr
+
+import (
+	"subgraphmr/internal/approx"
+	"subgraphmr/internal/directed"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/tworound"
+)
+
+// Directed, edge-labeled graphs — the extension sketched in the paper's
+// conclusions ("labeled, directed sample graphs ... the same methods
+// work").
+type (
+	// DiGraph is a directed, edge-labeled data graph.
+	DiGraph = directed.DiGraph
+	// DiGraphBuilder accumulates arcs for a DiGraph.
+	DiGraphBuilder = directed.DiBuilder
+	// Arc is a directed labeled data edge.
+	Arc = directed.Arc
+	// ArcLabel identifies an arc label (one relation per label).
+	ArcLabel = directed.Label
+	// DiPattern is a directed, labeled sample graph.
+	DiPattern = directed.DiPattern
+	// PatternArc is a directed labeled edge of a DiPattern.
+	PatternArc = directed.PatternArc
+	// DirectedOptions configures EnumerateDirected.
+	DirectedOptions = directed.Options
+	// DirectedResult is the outcome of EnumerateDirected.
+	DirectedResult = directed.Result
+	// TwoRoundResult is the outcome of the cascade triangle baseline.
+	TwoRoundResult = tworound.Result
+)
+
+// Arc labels for the threat-detection patterns of Section 1.1.
+const (
+	LabelKnows    = directed.LabelKnows
+	LabelBuysFrom = directed.LabelBuysFrom
+	LabelBookedOn = directed.LabelBookedOn
+)
+
+// NewDiGraphBuilder returns a builder for a directed labeled graph with n
+// nodes.
+func NewDiGraphBuilder(n int) *DiGraphBuilder { return directed.NewDiBuilder(n) }
+
+// RandomDiGraph returns a random directed graph with n nodes, m arcs and
+// the given number of labels.
+func RandomDiGraph(n, m, labels int, seed int64) *DiGraph {
+	return directed.RandomDiGraph(n, m, labels, seed)
+}
+
+// NewDiPattern builds a directed labeled sample pattern.
+func NewDiPattern(p int, arcs []PatternArc, names ...string) (*DiPattern, error) {
+	return directed.NewPattern(p, arcs, names...)
+}
+
+// DirectedCyclePattern returns the directed p-cycle pattern with one label.
+func DirectedCyclePattern(p int, label ArcLabel) *DiPattern {
+	return directed.DirectedCycle(p, label)
+}
+
+// DirectedPathPattern returns the directed p-node path pattern.
+func DirectedPathPattern(p int, label ArcLabel) *DiPattern {
+	return directed.DirectedPath(p, label)
+}
+
+// FanInPattern returns p-1 sources pointing at one sink.
+func FanInPattern(p int, label ArcLabel) *DiPattern { return directed.FanIn(p, label) }
+
+// ThreatRingPattern returns the Section 1.1-style query: k people booked
+// on the same flight who form a buys-from ring.
+func ThreatRingPattern(k int) *DiPattern { return directed.ThreatRing(k) }
+
+// EnumerateDirected finds every instance of a directed labeled pattern in
+// a single map-reduce round, each exactly once.
+func EnumerateDirected(g *DiGraph, pt *DiPattern, opt DirectedOptions) (*DirectedResult, error) {
+	return directed.Enumerate(g, pt, opt)
+}
+
+// DirectedBruteForce is the exhaustive oracle for directed patterns.
+func DirectedBruteForce(g *DiGraph, pt *DiPattern) [][]Node {
+	return directed.BruteForce(g, pt)
+}
+
+// TwoRoundTriangles runs the conventional cascade of two-way joins (two
+// map-reduce rounds, materialized wedge relation) — the baseline the
+// paper's one-round algorithms beat.
+func TwoRoundTriangles(g *Graph) TwoRoundResult {
+	return tworound.Triangles(g, mapreduce.Config{})
+}
+
+// WedgeCount returns the size of the intermediate relation the cascade
+// must ship.
+func WedgeCount(g *Graph) int64 { return tworound.WedgeCount(g) }
+
+// DoulionTriangles estimates the triangle count by coin-flip edge
+// sparsification (keep probability q), averaged over trials — the
+// probabilistic baseline of the paper's related work [20].
+func DoulionTriangles(g *Graph, q float64, trials int, seed int64) float64 {
+	return approx.DoulionTriangles(g, q, trials, seed)
+}
+
+// ColorCodingPaths estimates the number of simple p-node paths by the
+// color-coding method of the paper's related work [5].
+func ColorCodingPaths(g *Graph, p, trials int, seed int64) float64 {
+	return approx.ColorCodingPaths(g, p, trials, seed)
+}

@@ -1,0 +1,126 @@
+// Package approx implements the probabilistic counting baselines the
+// paper's related-work section discusses, as contrast to its exact
+// enumeration:
+//
+//   - Doulion (Tsourakakis et al., KDD 2009; the paper's [20]/[17]):
+//     sparsify the graph by keeping each edge with probability q, count
+//     triangles exactly on the sparsified graph, scale by 1/q³.
+//   - Color coding (Alon et al.; the paper's [5]): color nodes uniformly
+//     with p colors, count "colorful" paths by dynamic programming over
+//     color subsets in O(2^p·m·p), and scale by p^p/p! — the basis of the
+//     parallel approximate motif counters of [22].
+//
+// Both return unbiased estimates; the exact enumerators in the rest of the
+// library are the ground truth they are tested against.
+package approx
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/perm"
+	"subgraphmr/internal/serial"
+)
+
+// DoulionTriangles estimates the triangle count of g by coin-flip
+// sparsification with keep-probability q (0 < q ≤ 1), averaged over the
+// given number of independent trials. The estimator count(sparsified)/q³
+// is unbiased.
+func DoulionTriangles(g *graph.Graph, q float64, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		b := graph.NewBuilder(g.NumNodes())
+		for _, e := range g.Edges() {
+			if rng.Float64() < q {
+				b.AddEdge(e.U, e.V)
+			}
+		}
+		total += float64(serial.CountTriangles(b.Graph())) / (q * q * q)
+	}
+	return total / float64(trials)
+}
+
+// ColorCodingPaths estimates the number of simple paths on p nodes
+// (instances of the path sample graph) in g, averaged over the given
+// number of independent colorings. Each trial colors nodes uniformly with
+// p colors, counts colorful paths exactly by subset DP, and scales by
+// p^p/p! (the inverse probability that a fixed p-node path is colorful).
+func ColorCodingPaths(g *graph.Graph, p int, trials int, seed int64) float64 {
+	if p < 2 || p > 16 {
+		panic("approx: ColorCodingPaths supports 2 <= p <= 16")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := 1.0
+	{
+		// p^p / p!
+		pf := perm.Factorial(p)
+		pp := 1.0
+		for i := 0; i < p; i++ {
+			pp *= float64(p)
+		}
+		scale = pp / pf
+	}
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		total += float64(colorfulPaths(g, p, rng)) * scale
+	}
+	return total / float64(trials)
+}
+
+// colorfulPaths counts simple paths on p nodes whose nodes all receive
+// distinct colors under a fresh uniform coloring. DP[S][v] = number of
+// colorful paths with color set S ending at v; each undirected path is
+// counted twice (once per direction).
+func colorfulPaths(g *graph.Graph, p int, rng *rand.Rand) int64 {
+	n := g.NumNodes()
+	color := make([]uint16, n)
+	for i := range color {
+		color[i] = uint16(rng.Intn(p))
+	}
+	size := 1 << p
+	// dp[S*n + v]
+	dp := make([]int64, size*n)
+	for v := 0; v < n; v++ {
+		dp[(1<<color[v])*n+v] = 1
+	}
+	// Iterate subsets in increasing popcount order implicitly: increasing
+	// integer order suffices since transitions add a bit.
+	for S := 1; S < size; S++ {
+		base := S * n
+		for v := 0; v < n; v++ {
+			cnt := dp[base+v]
+			if cnt == 0 {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.Node(v)) {
+				cu := int(color[u])
+				if S&(1<<cu) != 0 {
+					continue
+				}
+				dp[(S|1<<cu)*n+int(u)] += cnt
+			}
+		}
+	}
+	full := size - 1
+	var total int64
+	if bits.OnesCount(uint(full)) != p {
+		panic("approx: internal subset bookkeeping error")
+	}
+	for v := 0; v < n; v++ {
+		total += dp[full*n+v]
+	}
+	return total / 2 // each undirected path counted in both directions
+}
+
+// ColorfulPathProbability returns p!/p^p — the probability that a fixed
+// set of p path nodes receives all-distinct colors, i.e. the inverse of
+// the estimator's scale factor.
+func ColorfulPathProbability(p int) float64 {
+	pp := 1.0
+	for i := 0; i < p; i++ {
+		pp *= float64(p)
+	}
+	return perm.Factorial(p) / pp
+}

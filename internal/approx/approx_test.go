@@ -1,0 +1,85 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/sample"
+	"subgraphmr/internal/serial"
+)
+
+func TestDoulionUnbiased(t *testing.T) {
+	g := graph.Gnm(200, 2400, 7)
+	exact := float64(serial.CountTriangles(g))
+	if exact < 100 {
+		t.Fatalf("test graph too sparse: %v triangles", exact)
+	}
+	est := DoulionTriangles(g, 0.5, 60, 11)
+	if math.Abs(est-exact) > 0.15*exact {
+		t.Errorf("doulion estimate %.0f vs exact %.0f (>15%% off)", est, exact)
+	}
+	// q = 1 must be exact.
+	if est := DoulionTriangles(g, 1.0, 1, 1); est != exact {
+		t.Errorf("q=1 estimate %v != exact %v", est, exact)
+	}
+}
+
+func TestDoulionVarianceShrinksWithQ(t *testing.T) {
+	g := graph.Gnm(150, 1500, 3)
+	exact := float64(serial.CountTriangles(g))
+	errAt := func(q float64) float64 {
+		var sum float64
+		const reps = 12
+		for r := int64(0); r < reps; r++ {
+			est := DoulionTriangles(g, q, 1, 100+r)
+			sum += math.Abs(est - exact)
+		}
+		return sum / reps
+	}
+	if errAt(0.9) > errAt(0.3)*1.5 {
+		t.Errorf("mean abs error at q=0.9 (%.1f) should be well below q=0.3 (%.1f)",
+			errAt(0.9), errAt(0.3))
+	}
+}
+
+func TestColorCodingPathsMatchesOracle(t *testing.T) {
+	g := graph.Gnm(30, 70, 5)
+	for _, p := range []int{3, 4} {
+		exact := float64(len(serial.BruteForce(g, sample.Path(p))))
+		est := ColorCodingPaths(g, p, 400, 17)
+		if math.Abs(est-exact) > 0.2*exact+2 {
+			t.Errorf("p=%d: color-coding estimate %.1f vs exact %.0f", p, est, exact)
+		}
+	}
+}
+
+func TestColorfulPathProbability(t *testing.T) {
+	// p=3: 3!/27 = 2/9.
+	if got := ColorfulPathProbability(3); math.Abs(got-2.0/9) > 1e-12 {
+		t.Errorf("probability(3) = %v, want 2/9", got)
+	}
+	// The scale factor used by the estimator is the inverse.
+	if got := ColorfulPathProbability(4); math.Abs(got-24.0/256) > 1e-12 {
+		t.Errorf("probability(4) = %v, want 24/256", got)
+	}
+}
+
+func TestColorCodingPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p = 1")
+		}
+	}()
+	ColorCodingPaths(graph.PathGraph(4), 1, 1, 1)
+}
+
+func TestColorCodingEdgeCase(t *testing.T) {
+	// A bare path graph with p nodes has exactly one p-node path; with
+	// enough trials the estimate lands near 1.
+	g := graph.PathGraph(4)
+	est := ColorCodingPaths(g, 4, 3000, 5)
+	if math.Abs(est-1) > 0.3 {
+		t.Errorf("single-path estimate %v, want about 1", est)
+	}
+}

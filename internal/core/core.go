@@ -1,0 +1,449 @@
+// Package core implements the paper's primary contribution: enumerating
+// every instance of an arbitrary sample graph S inside a data graph G in a
+// single round of map-reduce, with each instance produced exactly once.
+//
+// A sample graph is compiled to a union of conjunctive queries (package
+// cq, Section 3; package cycles for the specialized Section 5 generator),
+// shares are optimized per Section 4 (package shares), and the job runs on
+// the in-process map-reduce engine (package mapreduce) under one of three
+// processing strategies:
+//
+//   - CQOriented (Section 4.1): a separate job per merged CQ, each with its
+//     own optimal share assignment.
+//   - VariableOriented (Section 4.3): one job for all CQs; edges used in
+//     both orientations ship a doubled relation; shares are optimized for
+//     the combined cost (always at least as good as any split —
+//     Theorem 4.4).
+//   - BucketOriented (Section 4.5): one hash, equal buckets b per variable,
+//     one reducer per nondecreasing bucket p-tuple (C(b+p-1, p) of them —
+//     Theorem 4.2), each edge shipped to C(b+p-3, p-2) reducers, nodes
+//     ordered by (bucket, id) as in Section 2.3.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"subgraphmr/internal/cq"
+	"subgraphmr/internal/cycles"
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/sample"
+	"subgraphmr/internal/shares"
+)
+
+// Strategy selects the processing strategy of Section 4.
+type Strategy int
+
+const (
+	// BucketOriented is the Section 4.5 strategy (default: it needs no
+	// share optimization and ships each edge in one orientation only).
+	BucketOriented Strategy = iota
+	// CQOriented runs one job per CQ (Section 4.1).
+	CQOriented
+	// VariableOriented runs one combined job (Section 4.3).
+	VariableOriented
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case BucketOriented:
+		return "bucket-oriented"
+	case CQOriented:
+		return "cq-oriented"
+	case VariableOriented:
+		return "variable-oriented"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configures Enumerate.
+type Options struct {
+	// Strategy is the processing strategy (default BucketOriented).
+	Strategy Strategy
+	// TargetReducers is the reducer budget k for the share-based strategies
+	// (default 1024). For BucketOriented it picks the largest b with
+	// C(b+p-1, p) ≤ TargetReducers unless Buckets is set.
+	TargetReducers int
+	// Buckets overrides the bucket count b for BucketOriented.
+	Buckets int
+	// UseCycleCQs selects the Section 5 run-sequence CQ generator when the
+	// sample graph is a cycle (fewer CQs than the general method).
+	UseCycleCQs bool
+	// CountOnly skips materializing instances; Result.Count still reports
+	// the exact total (useful when the output would dwarf memory).
+	CountOnly bool
+	// Seed seeds the bucket hashes (jobs are deterministic given a seed).
+	Seed uint64
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) reducers() int {
+	if o.TargetReducers > 0 {
+		return o.TargetReducers
+	}
+	return 1024
+}
+
+// JobStats describes one map-reduce job of an enumeration.
+type JobStats struct {
+	// Label names the job (strategy, and CQ index for CQOriented).
+	Label string
+	// CQs prints the conjunctive queries evaluated by the job's reducers.
+	CQs []string
+	// Shares is the integer share vector (VariableOriented/CQOriented) or
+	// the uniform bucket vector (BucketOriented).
+	Shares []int
+	// PredictedCommPerEdge is the model-predicted communication per data
+	// edge at the integer shares used.
+	PredictedCommPerEdge float64
+	// OptimalCommPerEdge is the fractional-share optimum (share-based
+	// strategies) or the exact closed form (bucket-oriented).
+	OptimalCommPerEdge float64
+	// Metrics is the engine-measured cost of the job.
+	Metrics mapreduce.Metrics
+}
+
+// Result is the outcome of Enumerate.
+type Result struct {
+	// Instances holds one assignment (node per sample variable) for every
+	// instance of the sample graph, each instance exactly once. Nil when
+	// Options.CountOnly is set.
+	Instances [][]graph.Node
+	// Count is the exact number of instances (always populated).
+	Count int64
+	// Jobs lists per-job statistics (one entry except for CQOriented).
+	Jobs []JobStats
+	// NumCQs is the number of conjunctive queries evaluated.
+	NumCQs int
+}
+
+// TotalComm sums communication cost (key-value pairs) over all jobs.
+func (r *Result) TotalComm() int64 {
+	var t int64
+	for _, j := range r.Jobs {
+		t += j.Metrics.KeyValuePairs
+	}
+	return t
+}
+
+// TotalReducerWork sums reducer work units over all jobs.
+func (r *Result) TotalReducerWork() int64 {
+	var t int64
+	for _, j := range r.Jobs {
+		t += j.Metrics.ReducerWork
+	}
+	return t
+}
+
+// Enumerate finds every instance of s in g exactly once using a single
+// map-reduce round per job. The sample graph must be connected (reducers
+// only see edges, so an isolated sample node could bind to nodes the
+// reducer never receives).
+func Enumerate(g *graph.Graph, s *sample.Sample, opt Options) (*Result, error) {
+	if !s.IsConnected() {
+		return nil, fmt.Errorf("core: map-reduce enumeration requires a connected sample graph")
+	}
+	qs, err := buildCQs(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mapreduce.Config{Parallelism: opt.Parallelism}
+	switch opt.Strategy {
+	case BucketOriented:
+		return bucketOriented(g, s, qs, opt, cfg)
+	case VariableOriented:
+		return variableOriented(g, s, qs, opt, cfg)
+	case CQOriented:
+		return cqOriented(g, s, qs, opt, cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", opt.Strategy)
+	}
+}
+
+// buildCQs compiles the sample to its CQ set: the Section 5 generator for
+// cycles when requested, otherwise the Section 3 pipeline (orderings →
+// Aut quotient → orientation merge).
+func buildCQs(s *sample.Sample, opt Options) ([]*cq.CQ, error) {
+	if opt.UseCycleCQs {
+		if d, reg := s.IsRegular(); !reg || d != 2 {
+			return nil, fmt.Errorf("core: UseCycleCQs requires a cycle sample, got %v", s)
+		}
+		var qs []*cq.CQ
+		for _, c := range cycles.Generate(s.P()) {
+			qs = append(qs, c.CQ)
+		}
+		return qs, nil
+	}
+	return cq.MergeByOrientation(cq.GenerateForSample(s)), nil
+}
+
+// bucketKey encodes a sorted bucket multiset (or a bucket tuple) as a
+// comparable string.
+func bucketKey(buckets []int) string {
+	b := make([]byte, len(buckets))
+	for i, v := range buckets {
+		if v > 255 {
+			panic("core: bucket exceeds 255")
+		}
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// bucketOriented implements the Section 4.5 strategy.
+func bucketOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config) (*Result, error) {
+	p := s.P()
+	b := opt.Buckets
+	if b <= 0 {
+		b = bucketsForReducers(opt.reducers(), p)
+	}
+	if b > 255 {
+		return nil, fmt.Errorf("core: bucket count %d exceeds 255", b)
+	}
+	h := graph.NodeHash{Seed: opt.Seed + 0x9e3779b97f4a7c15, B: b}
+	less := graph.HashLess(h)
+
+	mapper := func(e graph.Edge, emit func(string, graph.Edge)) {
+		hu, hv := h.Bucket(e.U), h.Bucket(e.V)
+		buckets := make([]int, p)
+		seen := make(map[string]bool)
+		var fill func(idx, min int)
+		fill = func(idx, min int) {
+			if idx == p-2 {
+				key := ownedKey(buckets[:p-2], hu, hv)
+				if !seen[key] {
+					seen[key] = true
+					emit(key, e)
+				}
+				return
+			}
+			for w := min; w < b; w++ {
+				buckets[idx] = w
+				fill(idx+1, w)
+			}
+		}
+		if p == 2 {
+			emit(ownedKey(nil, hu, hv), e)
+			return
+		}
+		fill(0, 0)
+	}
+	evals := makeEvaluators(qs)
+	var counted atomic.Int64
+	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
+		local := graph.SparseFromEdges(edges)
+		instBuckets := make([]int, p)
+		for _, ev := range evals {
+			ctx.AddWork(ev.Run(local, less, func(phi []graph.Node) {
+				for i, u := range phi {
+					instBuckets[i] = h.Bucket(u)
+				}
+				sort.Ints(instBuckets)
+				if bucketKey(instBuckets) != key {
+					return
+				}
+				if opt.CountOnly {
+					counted.Add(1)
+				} else {
+					emit(phi)
+				}
+			}))
+		}
+	}
+	instances, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	job := JobStats{
+		Label:                fmt.Sprintf("bucket-oriented b=%d", b),
+		CQs:                  cqStrings(qs),
+		Shares:               uniformShares(p, b),
+		PredictedCommPerEdge: shares.BucketEdgeReplication(b, p),
+		OptimalCommPerEdge:   shares.BucketEdgeReplication(b, p),
+		Metrics:              metrics,
+	}
+	count := counted.Load()
+	if !opt.CountOnly {
+		count = int64(len(instances))
+	}
+	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}, NumCQs: len(qs)}, nil
+}
+
+// ownedKey builds the sorted multiset key from the p-2 completion buckets
+// (already nondecreasing) merged with the two edge buckets.
+func ownedKey(completion []int, hu, hv int) string {
+	all := make([]int, 0, len(completion)+2)
+	all = append(all, completion...)
+	all = append(all, hu, hv)
+	sort.Ints(all)
+	return bucketKey(all)
+}
+
+// bucketsForReducers returns the largest b with C(b+p-1, p) ≤ k (at least 1).
+func bucketsForReducers(k, p int) int {
+	b := 1
+	for shares.UsefulReducers(b+1, p) <= float64(k) {
+		b++
+		if b >= 255 {
+			break
+		}
+	}
+	return b
+}
+
+// variableOriented implements the Section 4.3 strategy.
+func variableOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config) (*Result, error) {
+	p := s.P()
+	uses := cq.EdgeUses(qs)
+	model := shares.ModelFromEdgeUses(p, uses)
+	res, err := runShareJob(g, p, qs, model, bindingsFromUses(uses), opt, cfg, "variable-oriented")
+	if err != nil {
+		return nil, err
+	}
+	res.NumCQs = len(qs)
+	return res, nil
+}
+
+// cqOriented implements the Section 4.1 strategy: one job per CQ.
+func cqOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config) (*Result, error) {
+	p := s.P()
+	out := &Result{NumCQs: len(qs)}
+	for i, q := range qs {
+		model := shares.ModelFromCQ(q)
+		var binds []edgeBinding
+		for _, sg := range q.Subgoals {
+			binds = append(binds, edgeBinding{lo: sg.Lo, hi: sg.Hi})
+		}
+		res, err := runShareJob(g, p, []*cq.CQ{q}, model, binds, opt, cfg,
+			fmt.Sprintf("cq-oriented job %d/%d", i+1, len(qs)))
+		if err != nil {
+			return nil, err
+		}
+		out.Instances = append(out.Instances, res.Instances...)
+		out.Count += res.Count
+		out.Jobs = append(out.Jobs, res.Jobs...)
+	}
+	return out, nil
+}
+
+// edgeBinding says: ship the data edge (U < V) binding variable lo to U and
+// hi to V. Bidirectional sample edges produce two bindings.
+type edgeBinding struct{ lo, hi int }
+
+func bindingsFromUses(uses []cq.EdgeUse) []edgeBinding {
+	var binds []edgeBinding
+	for _, u := range uses {
+		if u.Forward {
+			binds = append(binds, edgeBinding{lo: u.I, hi: u.J})
+		}
+		if u.Backward {
+			binds = append(binds, edgeBinding{lo: u.J, hi: u.I})
+		}
+	}
+	return binds
+}
+
+// runShareJob executes one share-based job: optimize shares for the model,
+// round to integer bucket counts, ship each edge per binding to the
+// reducers of every bucket tuple extending the bound pair, and evaluate the
+// CQs at each reducer with the natural node order. An instance is emitted
+// only at the reducer matching the hashes of all its nodes.
+func runShareJob(g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds []edgeBinding, opt Options, cfg mapreduce.Config, label string) (*Result, error) {
+	sol, err := model.Solve(float64(opt.reducers()))
+	if err != nil {
+		return nil, err
+	}
+	intShares := model.RoundShares(sol.Shares, float64(opt.reducers()))
+	hashes := make([]graph.NodeHash, p)
+	for v := 0; v < p; v++ {
+		if intShares[v] > 255 {
+			return nil, fmt.Errorf("core: share %d exceeds 255", intShares[v])
+		}
+		hashes[v] = graph.NodeHash{Seed: opt.Seed + uint64(v)*0x9e3779b97f4a7c15 + 1, B: intShares[v]}
+	}
+
+	mapper := func(e graph.Edge, emit func(string, graph.Edge)) {
+		buckets := make([]int, p)
+		for _, bind := range binds {
+			buckets[bind.lo] = hashes[bind.lo].Bucket(e.U)
+			buckets[bind.hi] = hashes[bind.hi].Bucket(e.V)
+			var fill func(v int)
+			fill = func(v int) {
+				if v == p {
+					emit(bucketKey(buckets), e)
+					return
+				}
+				if v == bind.lo || v == bind.hi {
+					fill(v + 1)
+					return
+				}
+				for w := 0; w < intShares[v]; w++ {
+					buckets[v] = w
+					fill(v + 1)
+				}
+			}
+			fill(0)
+		}
+	}
+	evals := makeEvaluators(qs)
+	var counted atomic.Int64
+	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
+		local := graph.SparseFromEdges(edges)
+		for _, ev := range evals {
+			ctx.AddWork(ev.Run(local, graph.NaturalLess, func(phi []graph.Node) {
+				for v, u := range phi {
+					if hashes[v].Bucket(u) != int(key[v]) {
+						return
+					}
+				}
+				if opt.CountOnly {
+					counted.Add(1)
+				} else {
+					emit(phi)
+				}
+			}))
+		}
+	}
+	instances, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	fs := make([]float64, p)
+	for v, sh := range intShares {
+		fs[v] = float64(sh)
+	}
+	job := JobStats{
+		Label:                label,
+		CQs:                  cqStrings(qs),
+		Shares:               intShares,
+		PredictedCommPerEdge: model.CostPerEdge(fs),
+		OptimalCommPerEdge:   sol.CostPerEdge,
+		Metrics:              metrics,
+	}
+	count := counted.Load()
+	if !opt.CountOnly {
+		count = int64(len(instances))
+	}
+	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}}, nil
+}
+
+func makeEvaluators(qs []*cq.CQ) []*cq.Evaluator {
+	evals := make([]*cq.Evaluator, len(qs))
+	for i, q := range qs {
+		evals[i] = cq.NewEvaluator(q)
+	}
+	return evals
+}
+
+func cqStrings(qs []*cq.CQ) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.String()
+	}
+	return out
+}
+
+func uniformShares(p, b int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

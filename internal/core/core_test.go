@@ -1,0 +1,323 @@
+package core
+
+import (
+	"testing"
+
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/sample"
+	"subgraphmr/internal/serial"
+	"subgraphmr/internal/shares"
+)
+
+func oracleKeys(g *graph.Graph, s *sample.Sample) map[string]bool {
+	want := map[string]bool{}
+	for _, phi := range serial.BruteForce(g, s) {
+		want[s.Key(phi)] = true
+	}
+	return want
+}
+
+func checkExactlyOnce(t *testing.T, g *graph.Graph, s *sample.Sample, res *Result) {
+	t.Helper()
+	want := oracleKeys(g, s)
+	got := map[string]bool{}
+	for _, phi := range res.Instances {
+		if !s.IsInstance(g, phi) {
+			t.Fatalf("non-instance emitted: %v", phi)
+		}
+		k := s.Key(phi)
+		if got[k] {
+			t.Fatalf("instance %s emitted twice", k)
+		}
+		got[k] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d instances, oracle %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing instance %s", k)
+		}
+	}
+}
+
+func TestAllStrategiesMatchOracle(t *testing.T) {
+	samples := []*sample.Sample{
+		sample.SingleEdge(),
+		sample.TwoPath(),
+		sample.Triangle(),
+		sample.Square(),
+		sample.Lollipop(),
+		sample.Cycle(5),
+		sample.Complete(4),
+		sample.Star(4),
+		sample.Path(4),
+	}
+	graphs := []*graph.Graph{
+		graph.Gnm(14, 38, 1),
+		graph.Gnm(20, 45, 2),
+		graph.CompleteGraph(8),
+	}
+	for _, strat := range []Strategy{BucketOriented, VariableOriented, CQOriented} {
+		for _, g := range graphs {
+			for _, s := range samples {
+				res, err := Enumerate(g, s, Options{Strategy: strat, TargetReducers: 200, Seed: 5})
+				if err != nil {
+					t.Fatalf("%v %v: %v", strat, s, err)
+				}
+				checkExactlyOnce(t, g, s, res)
+			}
+		}
+	}
+}
+
+func TestCycleCQStrategy(t *testing.T) {
+	g := graph.Gnm(16, 40, 3)
+	for _, p := range []int{5, 6} {
+		s := sample.Cycle(p)
+		general, err := Enumerate(g, s, Options{Strategy: BucketOriented, Buckets: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specialized, err := Enumerate(g, s, Options{Strategy: BucketOriented, Buckets: 4, UseCycleCQs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkExactlyOnce(t, g, s, general)
+		checkExactlyOnce(t, g, s, specialized)
+		if specialized.NumCQs > general.NumCQs {
+			t.Errorf("p=%d: cycle CQs %d should not exceed general %d",
+				p, specialized.NumCQs, general.NumCQs)
+		}
+	}
+	// UseCycleCQs on a non-cycle fails.
+	if _, err := Enumerate(g, sample.Lollipop(), Options{UseCycleCQs: true}); err == nil {
+		t.Error("UseCycleCQs on the lollipop should fail")
+	}
+}
+
+func TestDisconnectedSampleRejected(t *testing.T) {
+	g := graph.CompleteGraph(5)
+	s := sample.MustNew(3, [][2]int{{0, 1}}) // isolated third node
+	if _, err := Enumerate(g, s, Options{}); err == nil {
+		t.Error("disconnected sample should be rejected")
+	}
+}
+
+// TestBucketOrientedCommMatchesTheorem42: each edge reaches exactly
+// C(b+p-3, p-2) reducers and the useful reducers stay within C(b+p-1, p).
+func TestBucketOrientedCommMatchesTheorem42(t *testing.T) {
+	g := graph.Gnm(30, 140, 4)
+	for _, tc := range []struct {
+		s *sample.Sample
+		b int
+	}{
+		{sample.Triangle(), 6},
+		{sample.Square(), 4},
+		{sample.Lollipop(), 5},
+		{sample.Cycle(5), 3},
+	} {
+		res, err := Enumerate(g, tc.s, Options{Strategy: BucketOriented, Buckets: tc.b, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tc.s.P()
+		wantComm := int64(shares.BucketEdgeReplication(tc.b, p)) * int64(g.NumEdges())
+		m := res.Jobs[0].Metrics
+		if m.KeyValuePairs != wantComm {
+			t.Errorf("%v b=%d: comm %d, want %d", tc.s, tc.b, m.KeyValuePairs, wantComm)
+		}
+		if max := int64(shares.UsefulReducers(tc.b, p)); m.DistinctKeys > max {
+			t.Errorf("%v b=%d: %d reducers exceed C(b+p-1,p) = %d", tc.s, tc.b, m.DistinctKeys, max)
+		}
+	}
+}
+
+// TestVariableOrientedCommMatchesModel: measured communication equals the
+// cost model evaluated at the integer shares, exactly.
+func TestVariableOrientedCommMatchesModel(t *testing.T) {
+	g := graph.Gnm(25, 90, 6)
+	for _, s := range []*sample.Sample{sample.Triangle(), sample.Square(), sample.Lollipop()} {
+		res, err := Enumerate(g, s, Options{Strategy: VariableOriented, TargetReducers: 500, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := res.Jobs[0]
+		want := int64(job.PredictedCommPerEdge*float64(g.NumEdges()) + 0.5)
+		if job.Metrics.KeyValuePairs != want {
+			t.Errorf("%v: comm %d, predicted %d (shares %v)",
+				s, job.Metrics.KeyValuePairs, want, job.Shares)
+		}
+		// Rounding keeps the reducer budget: Π intShares ≤ k. (The integer
+		// cost may dip below the fractional optimum because the fractional
+		// problem constrains the product to equal k exactly.)
+		prod := 1
+		for _, sh := range job.Shares {
+			prod *= sh
+		}
+		if prod > 500 {
+			t.Errorf("%v: integer share product %d exceeds k", s, prod)
+		}
+	}
+}
+
+// TestCQOrientedPerJobStats: one job per merged CQ, and the summed cost is
+// at least the variable-oriented cost at the same budget (Theorem 4.4
+// observed on measured data).
+func TestCQOrientedPerJobStats(t *testing.T) {
+	g := graph.Gnm(25, 90, 8)
+	s := sample.Lollipop()
+	k := 300
+	cqRes, err := Enumerate(g, s, Options{Strategy: CQOriented, TargetReducers: k, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cqRes.Jobs) != 6 {
+		t.Fatalf("lollipop should run 6 CQ jobs, got %d", len(cqRes.Jobs))
+	}
+	varRes, err := Enumerate(g, s, Options{Strategy: VariableOriented, TargetReducers: k, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if varRes.TotalComm() > cqRes.TotalComm() {
+		t.Errorf("variable-oriented comm %d should not exceed cq-oriented total %d",
+			varRes.TotalComm(), cqRes.TotalComm())
+	}
+}
+
+// TestConvertibilityGeneral: bucket-oriented reducer work stays within a
+// constant factor of serial work as b varies (Theorem 6.1 in action).
+func TestConvertibilityGeneral(t *testing.T) {
+	g := graph.Gnm(120, 700, 10)
+	s := sample.Triangle()
+	serialWork := serial.Triangles(g, func(_, _, _ graph.Node) {})
+	for _, b := range []int{2, 4, 6} {
+		res, err := Enumerate(g, s, Options{Strategy: BucketOriented, Buckets: b, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(res.TotalReducerWork()) / float64(serialWork)
+		if ratio > 40 {
+			t.Errorf("b=%d: reducer work ratio %.1f too large", b, ratio)
+		}
+	}
+}
+
+func TestDefaultBucketSelection(t *testing.T) {
+	// With TargetReducers = 220 and p = 3, the largest b with
+	// C(b+2,3) ≤ 220 is 10 (Fig. 2's Section 2.3 row).
+	if b := bucketsForReducers(220, 3); b != 10 {
+		t.Errorf("bucketsForReducers(220, 3) = %d, want 10", b)
+	}
+	if b := bucketsForReducers(1, 4); b != 1 {
+		t.Errorf("bucketsForReducers(1, 4) = %d, want 1", b)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := graph.Gnm(15, 40, 1)
+	res, err := Enumerate(g, sample.Square(), Options{Strategy: BucketOriented, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := res.Jobs[0]
+	if len(job.CQs) != 3 {
+		t.Errorf("square should evaluate 3 CQs, got %v", job.CQs)
+	}
+	if job.Metrics.DistinctKeys == 0 || job.Metrics.KeyValuePairs == 0 {
+		t.Error("metrics not populated")
+	}
+	if job.Label == "" || len(job.Shares) != 4 {
+		t.Errorf("job metadata missing: %+v", job)
+	}
+}
+
+// TestCountOnly: count-only mode reports the exact total without
+// materializing instances, across all three strategies.
+func TestCountOnly(t *testing.T) {
+	g := graph.Gnm(20, 60, 3)
+	for _, strat := range []Strategy{BucketOriented, VariableOriented, CQOriented} {
+		for _, s := range []*sample.Sample{sample.Triangle(), sample.Lollipop()} {
+			full, err := Enumerate(g, s, Options{Strategy: strat, TargetReducers: 100, Seed: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			counted, err := Enumerate(g, s, Options{Strategy: strat, TargetReducers: 100, Seed: 4, CountOnly: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if counted.Count != full.Count || counted.Count != int64(len(full.Instances)) {
+				t.Errorf("%v %v: count-only %d vs full %d", strat, s, counted.Count, full.Count)
+			}
+			if len(counted.Instances) != 0 {
+				t.Errorf("%v: count-only materialized %d instances", strat, len(counted.Instances))
+			}
+			if counted.TotalComm() != full.TotalComm() {
+				t.Errorf("%v: count-only changed communication", strat)
+			}
+		}
+	}
+}
+
+// TestShareOverflowRejected: a reducer budget so large that one variable's
+// share exceeds the 255-bucket encoding limit is rejected cleanly.
+func TestShareOverflowRejected(t *testing.T) {
+	g := graph.Gnm(10, 20, 1)
+	// Single-edge sample: one variable absorbs the whole budget.
+	if _, err := Enumerate(g, sample.SingleEdge(), Options{
+		Strategy: VariableOriented, TargetReducers: 100000,
+	}); err == nil {
+		t.Error("share > 255 should be rejected")
+	}
+	if _, err := Enumerate(g, sample.Triangle(), Options{
+		Strategy: BucketOriented, Buckets: 300,
+	}); err == nil {
+		t.Error("buckets > 255 should be rejected")
+	}
+}
+
+// TestEmptyDataGraph: every strategy handles a graph with no edges.
+func TestEmptyDataGraph(t *testing.T) {
+	g := graph.FromEdges(6, nil)
+	for _, strat := range []Strategy{BucketOriented, VariableOriented, CQOriented} {
+		res, err := Enumerate(g, sample.Triangle(), Options{Strategy: strat, TargetReducers: 16})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if res.Count != 0 || res.TotalComm() != 0 {
+			t.Errorf("%v: empty graph produced count=%d comm=%d", strat, res.Count, res.TotalComm())
+		}
+	}
+}
+
+// TestEdgeSampleP2: the p = 2 mapper special case (no completion buckets).
+func TestEdgeSampleP2(t *testing.T) {
+	g := graph.Gnm(12, 30, 2)
+	res, err := Enumerate(g, sample.SingleEdge(), Options{Strategy: BucketOriented, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != g.NumEdges() {
+		t.Errorf("edge sample found %d, want m=%d", len(res.Instances), g.NumEdges())
+	}
+	// Each edge ships to exactly one reducer: comm = m.
+	if res.TotalComm() != int64(g.NumEdges()) {
+		t.Errorf("p=2 comm = %d, want %d", res.TotalComm(), g.NumEdges())
+	}
+}
+
+// TestUnknownStrategyRejected covers the default switch branch.
+func TestUnknownStrategyRejected(t *testing.T) {
+	g := graph.Gnm(5, 8, 1)
+	if _, err := Enumerate(g, sample.Triangle(), Options{Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy should be rejected")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy should still print")
+	}
+	for _, s := range []Strategy{BucketOriented, VariableOriented, CQOriented} {
+		if s.String() == "" {
+			t.Error("strategy name empty")
+		}
+	}
+}

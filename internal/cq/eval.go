@@ -1,0 +1,173 @@
+package cq
+
+import (
+	"sort"
+
+	"subgraphmr/internal/graph"
+)
+
+// Evaluator runs one or more CQs over (fragments of) a data graph, as the
+// reducers of Section 4 do. The evaluation is a backtracking multiway join:
+// variables are bound in an order where each new variable is adjacent in
+// the sample graph to an already-bound one, candidates come from adjacency
+// lists, and the arithmetic condition prunes partial assignments and
+// filters complete ones.
+type Evaluator struct {
+	q        *CQ
+	plan     []int       // variable binding order
+	planPos  []int       // position of each variable in plan
+	anchor   []int       // for each plan step, an earlier-bound sample-neighbor (-1 if none)
+	checks   [][]Subgoal // subgoals to verify when binding plan[i]
+	lessCons [][]Pair    // LessCons to verify when binding plan[i]
+}
+
+// NewEvaluator builds the join plan for q.
+func NewEvaluator(q *CQ) *Evaluator {
+	p := q.P
+	ev := &Evaluator{q: q, planPos: make([]int, p)}
+
+	adj := make([][]int, p)
+	for _, sg := range q.Subgoals {
+		adj[sg.Lo] = append(adj[sg.Lo], sg.Hi)
+		adj[sg.Hi] = append(adj[sg.Hi], sg.Lo)
+	}
+	// Greedy connected plan: start at the max-degree variable; repeatedly
+	// pick the unbound variable with the most bound neighbors (ties: more
+	// sample edges, then lower index). Falls back to any variable for
+	// disconnected samples.
+	bound := make([]bool, p)
+	for len(ev.plan) < p {
+		best, bestScore := -1, -1
+		for v := 0; v < p; v++ {
+			if bound[v] {
+				continue
+			}
+			score := 0
+			for _, w := range adj[v] {
+				if bound[w] {
+					score += p // bound neighbors dominate
+				}
+			}
+			score += len(adj[v])
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		bound[best] = true
+		ev.plan = append(ev.plan, best)
+	}
+	for i, v := range ev.plan {
+		ev.planPos[v] = i
+	}
+	ev.anchor = make([]int, p)
+	ev.checks = make([][]Subgoal, p)
+	ev.lessCons = make([][]Pair, p)
+	for i, v := range ev.plan {
+		ev.anchor[i] = -1
+		for _, sg := range q.Subgoals {
+			var other int
+			switch v {
+			case sg.Lo:
+				other = sg.Hi
+			case sg.Hi:
+				other = sg.Lo
+			default:
+				continue
+			}
+			if ev.planPos[other] < i {
+				ev.checks[i] = append(ev.checks[i], sg)
+				if ev.anchor[i] == -1 {
+					ev.anchor[i] = other
+				}
+			}
+		}
+		for _, c := range q.LessCons {
+			if c.A == v && ev.planPos[c.B] < i || c.B == v && ev.planPos[c.A] < i {
+				ev.lessCons[i] = append(ev.lessCons[i], c)
+			}
+		}
+	}
+	return ev
+}
+
+// Run enumerates every assignment φ (one data node per variable) satisfying
+// the CQ over the local edge set, under the node order less. It calls emit
+// with a fresh slice per match and returns the number of candidate
+// extensions examined (the evaluator's work, for convertibility metering).
+func (ev *Evaluator) Run(local *graph.Sparse, less graph.Less, emit func(phi []graph.Node)) int64 {
+	phi := make([]graph.Node, ev.q.P)
+	return ev.extend(local, less, phi, 0, emit)
+}
+
+func (ev *Evaluator) extend(local *graph.Sparse, less graph.Less, phi []graph.Node, step int, emit func([]graph.Node)) int64 {
+	if step == len(ev.plan) {
+		if ev.finalCheck(phi, less) {
+			emit(append([]graph.Node(nil), phi...))
+		}
+		return 1
+	}
+	v := ev.plan[step]
+	var candidates []graph.Node
+	if a := ev.anchor[step]; a >= 0 {
+		candidates = local.Neighbors(phi[a])
+	} else {
+		candidates = local.Nodes()
+	}
+	var work int64
+	for _, c := range candidates {
+		work++
+		ok := true
+		for s := 0; s < step && ok; s++ {
+			if phi[ev.plan[s]] == c {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		phi[v] = c
+		for _, sg := range ev.checks[step] {
+			lo, hi := phi[sg.Lo], phi[sg.Hi]
+			if !less(lo, hi) || !local.HasEdge(lo, hi) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, lc := range ev.lessCons[step] {
+				if !less(phi[lc.A], phi[lc.B]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			work += ev.extend(local, less, phi, step+1, emit)
+		}
+	}
+	return work
+}
+
+func (ev *Evaluator) finalCheck(phi []graph.Node, less graph.Less) bool {
+	if ev.q.Orderings == nil {
+		return true // constraint mode: everything verified incrementally
+	}
+	order := make([]int, ev.q.P)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return less(phi[order[i]], phi[order[j]]) })
+	_, ok := ev.q.orderSet[orderKey(order)]
+	return ok
+}
+
+// EvaluateAll runs every CQ of the set over the local edge set and emits
+// each satisfying assignment once (distinct CQs of a well-formed set never
+// produce the same assignment). Returns total evaluator work.
+func EvaluateAll(cqs []*CQ, local *graph.Sparse, less graph.Less, emit func(phi []graph.Node)) int64 {
+	var work int64
+	for _, q := range cqs {
+		work += NewEvaluator(q).Run(local, less, emit)
+	}
+	return work
+}

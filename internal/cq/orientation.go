@@ -1,0 +1,58 @@
+package cq
+
+// EdgeUse records how one sample edge is oriented across a set of CQs for
+// the same sample graph. Section 4.3 (variable-oriented processing) ships
+// each data edge once per used orientation, so an edge used in both
+// directions doubles its relation size.
+type EdgeUse struct {
+	// I, J is the sample edge with I < J.
+	I, J int
+	// Forward is true if some CQ contains the subgoal E(I, J).
+	Forward bool
+	// Backward is true if some CQ contains the subgoal E(J, I).
+	Backward bool
+}
+
+// Bidirectional reports whether the edge appears in both orientations.
+func (u EdgeUse) Bidirectional() bool { return u.Forward && u.Backward }
+
+// Coefficient returns the relation-size multiplier for the edge's subgoal:
+// 2 when both orientations are shipped, 1 otherwise.
+func (u EdgeUse) Coefficient() float64 {
+	if u.Bidirectional() {
+		return 2
+	}
+	return 1
+}
+
+// EdgeUses summarizes the orientation usage of every sample edge across the
+// CQ set. The order matches the subgoal order of the first CQ.
+func EdgeUses(cqs []*CQ) []EdgeUse {
+	if len(cqs) == 0 {
+		return nil
+	}
+	index := make(map[[2]int]int)
+	var uses []EdgeUse
+	for _, q := range cqs {
+		for _, sg := range q.Subgoals {
+			i, j := sg.Lo, sg.Hi
+			forward := true
+			if i > j {
+				i, j = j, i
+				forward = false
+			}
+			k, ok := index[[2]int{i, j}]
+			if !ok {
+				k = len(uses)
+				index[[2]int{i, j}] = k
+				uses = append(uses, EdgeUse{I: i, J: j})
+			}
+			if forward {
+				uses[k].Forward = true
+			} else {
+				uses[k].Backward = true
+			}
+		}
+	}
+	return uses
+}

@@ -1,0 +1,299 @@
+// Package cycles implements the Section 5 algorithm for generating a
+// minimum set of conjunctive queries that finds every cycle C_p exactly
+// once. Instead of quotienting node orders (Section 3), it works directly
+// with edge orientations: traversing a cycle counterclockwise from a node
+// lower than both neighbors gives a string of u's (up edges) and d's (down
+// edges) that starts with a run of u's and ends with a run of d's. Two
+// strings describe the same cycles when one is a rotation of the other
+// landing on another valid string (a cyclic shift by an even number of
+// runs) or such a rotation of its flip (reverse the string and swap u↔d).
+// One CQ per equivalence class suffices; palindromic classes additionally
+// pin the traversal direction (X2 < Xp) and periodic classes pin the start
+// node (X1 < X_{1+jq}), per the paper's step 4.
+package cycles
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"subgraphmr/internal/cq"
+)
+
+// CycleCQ is one generated conjunctive query for C_p together with the
+// orientation metadata of Section 5.
+type CycleCQ struct {
+	// Orientation is the canonical u/d string of the class (starts with u,
+	// ends with d).
+	Orientation string
+	// Runs is the run-length sequence of Orientation (alternating u-run,
+	// d-run, …; always even length).
+	Runs []int
+	// Period is the smallest q dividing p with Orientation q-periodic
+	// (Period == p means no nontrivial periodicity).
+	Period int
+	// Reflections lists every shift r such that reading the cycle backward
+	// from position r reproduces Orientation (s[i] = opp(s[(r-1-i) mod p])).
+	// Each r ≠ 0 is a second start node from which the same cycle matches in
+	// the reverse direction; r = 0 means the classic palindrome (flip(s) = s).
+	Reflections []int
+	// Palindrome reports flip(s) == s, i.e. 0 ∈ Reflections.
+	Palindrome bool
+	// CQ is the constraint-mode conjunctive query: per-edge orientation
+	// subgoals plus the extra inequalities of the paper's step 4.
+	CQ *cq.CQ
+}
+
+// Generate returns the minimum CQ set for C_p (p ≥ 3), one CycleCQ per
+// orientation class, in lexicographic order of canonical orientation.
+func Generate(p int) []CycleCQ {
+	var out []CycleCQ
+	for _, s := range CanonicalOrientations(p) {
+		out = append(out, buildCycleCQ(s))
+	}
+	return out
+}
+
+// CanonicalOrientations returns the canonical representative of every
+// orientation class for C_p, sorted lexicographically. The number of
+// classes is the minimum number of CQs (Theorem 5.1 and the minimality
+// argument of Section 5.2).
+func CanonicalOrientations(p int) []string {
+	if p < 3 {
+		panic(fmt.Sprintf("cycles: need p >= 3, got %d", p))
+	}
+	seen := make(map[string]bool)
+	var out []string
+	// Enumerate all strings over {u,d} of length p starting u, ending d.
+	for bits := 0; bits < 1<<p; bits++ {
+		b := make([]byte, p)
+		for i := 0; i < p; i++ {
+			if bits&(1<<i) != 0 {
+				b[i] = 'u'
+			} else {
+				b[i] = 'd'
+			}
+		}
+		s := string(b)
+		if !valid(s) {
+			continue
+		}
+		c := Canon(s)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	// seen was keyed by canon, and Canon(c) == c, so out holds each class
+	// exactly once; sort order follows from the enumeration order of bits,
+	// so normalize.
+	sortStrings(out)
+	return out
+}
+
+// valid reports whether s is a legal orientation string: it must start
+// with an up edge and end with a down edge (X1 below both neighbors).
+func valid(s string) bool {
+	return len(s) > 0 && s[0] == 'u' && s[len(s)-1] == 'd'
+}
+
+// Flip reverses the traversal direction: reverse the string and exchange
+// u and d.
+func Flip(s string) string {
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[len(s)-1-i]
+		if c == 'u' {
+			b[i] = 'd'
+		} else {
+			b[i] = 'u'
+		}
+	}
+	return string(b)
+}
+
+// rotations returns all valid rotations of s (including s itself when
+// valid). A rotation by t characters corresponds to restarting the
+// traversal at another node that is lower than both its neighbors.
+func rotations(s string) []string {
+	var out []string
+	for t := 0; t < len(s); t++ {
+		r := s[t:] + s[:t]
+		if valid(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Class returns every string equivalent to s: its valid rotations and the
+// valid rotations of its flip.
+func Class(s string) []string {
+	set := make(map[string]bool)
+	for _, r := range rotations(s) {
+		set[r] = true
+	}
+	for _, r := range rotations(Flip(s)) {
+		set[r] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Canon returns the lexicographically least member of s's class.
+func Canon(s string) string {
+	cls := Class(s)
+	return cls[0]
+}
+
+// RunLengths returns the run-length sequence of an orientation string
+// (u-run, d-run, alternating; even length for valid strings).
+func RunLengths(s string) []int {
+	var runs []int
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		runs = append(runs, j-i)
+		i = j
+	}
+	return runs
+}
+
+// FromRunLengths converts a run-length sequence into its orientation
+// string (starting with u's).
+func FromRunLengths(runs []int) string {
+	var b strings.Builder
+	for i, r := range runs {
+		c := byte('u')
+		if i%2 == 1 {
+			c = 'd'
+		}
+		for j := 0; j < r; j++ {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// period returns the smallest q dividing len(s) such that s is q-periodic.
+func period(s string) int {
+	p := len(s)
+	for q := 1; q < p; q++ {
+		if p%q != 0 {
+			continue
+		}
+		ok := true
+		for i := 0; i < p && ok; i++ {
+			if s[i] != s[(i+q)%p] {
+				ok = false
+			}
+		}
+		if ok {
+			return q
+		}
+	}
+	return p
+}
+
+// reflections returns every shift r ∈ [0, p) such that
+// s[i] == opp(s[(r-1-i) mod p]) for all i: the laying of a matching cycle
+// that starts at the node in position r and runs in the opposite direction
+// also matches s. Without extra inequalities each such r ≠ 0 (or r = 0, the
+// plain palindrome) makes the CQ discover every matching cycle twice.
+//
+// Note: the paper's step 4 only handles the r = 0 case ("if the CQ is a
+// palindrome add X2 < Xp"); classes like uduudd (run sequence 1122, flip =
+// rotation by 2) need the shifted-reflection inequality X1 < X_{r+1}
+// instead — see EXPERIMENTS.md.
+func reflections(s string) []int {
+	p := len(s)
+	var out []int
+	for r := 0; r < p; r++ {
+		ok := true
+		for i := 0; i < p && ok; i++ {
+			j := ((r-1-i)%p + p) % p
+			if s[i] == s[j] { // must be opposite characters
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func buildCycleCQ(s string) CycleCQ {
+	p := len(s)
+	names := make([]string, p)
+	for i := range names {
+		names[i] = fmt.Sprintf("X%d", i+1)
+	}
+	q := &cq.CQ{P: p, Names: names}
+	// Subgoal per edge: char i orients the step X_{i+1} → X_{i+2}
+	// (indices i → i+1); the last char orients X_p → X_1.
+	for i := 0; i < p; i++ {
+		next := (i + 1) % p
+		if s[i] == 'u' {
+			q.Subgoals = append(q.Subgoals, cq.Subgoal{Lo: i, Hi: next})
+			q.LessCons = append(q.LessCons, cq.Pair{A: i, B: next})
+		} else {
+			q.Subgoals = append(q.Subgoals, cq.Subgoal{Lo: next, Hi: i})
+			q.LessCons = append(q.LessCons, cq.Pair{A: next, B: i})
+		}
+	}
+	refl := reflections(s)
+	cc := CycleCQ{
+		Orientation: s,
+		Runs:        RunLengths(s),
+		Period:      period(s),
+		Reflections: refl,
+		CQ:          q,
+	}
+	extra := make(map[cq.Pair]bool)
+	// Step 4(c): periodicity — pin X1 as the least among the period-start
+	// positions 1+jq (the forward layings that match the same cycle).
+	if cc.Period < p {
+		for pos := cc.Period; pos < p; pos += cc.Period {
+			extra[cq.Pair{A: 0, B: pos}] = true
+		}
+	}
+	// Reflections: for each shifted reflection r ≠ 0, the same cycle matches
+	// in reverse starting at position r; pin X1 below that start. For r = 0
+	// (flip(s) = s), the reverse laying shares the start node, so pin the
+	// direction with X2 < Xp.
+	for _, r := range refl {
+		if r == 0 {
+			cc.Palindrome = true
+			extra[cq.Pair{A: 1, B: p - 1}] = true
+		} else {
+			extra[cq.Pair{A: 0, B: r}] = true
+		}
+	}
+	for pair := range extra {
+		q.LessCons = append(q.LessCons, pair)
+	}
+	return cc
+}
+
+// ConditionalUpperBound is the Section 5.3 bound (2^p − 2)/(2p) on the
+// number of CQs, exact when p is prime (no palindromic or periodic
+// sequences).
+func ConditionalUpperBound(p int) float64 {
+	return (math.Pow(2, float64(p)) - 2) / float64(2*p)
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomValidString derives an orientation string of length p (4..9) from
+// the raw bits, forcing validity (starts u, ends d).
+func randomValidString(bits uint16, pRaw uint8) string {
+	p := int(pRaw)%6 + 4
+	b := make([]byte, p)
+	b[0] = 'u'
+	b[p-1] = 'd'
+	for i := 1; i < p-1; i++ {
+		if bits&(1<<i) != 0 {
+			b[i] = 'u'
+		} else {
+			b[i] = 'd'
+		}
+	}
+	return string(b)
+}
+
+// TestQuickCanonIdempotent: Canon is a projection (Canon∘Canon = Canon)
+// and constant on classes.
+func TestQuickCanonIdempotent(t *testing.T) {
+	err := quick.Check(func(bits uint16, pRaw uint8) bool {
+		s := randomValidString(bits, pRaw)
+		c := Canon(s)
+		if Canon(c) != c {
+			return false
+		}
+		for _, member := range Class(s) {
+			if Canon(member) != c {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlipInvolution: flipping twice is the identity, and the flip of
+// a valid string is valid.
+func TestQuickFlipInvolution(t *testing.T) {
+	err := quick.Check(func(bits uint16, pRaw uint8) bool {
+		s := randomValidString(bits, pRaw)
+		f := Flip(s)
+		return Flip(f) == s && f[0] == 'u' && f[len(f)-1] == 'd'
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClassClosedUnderFlip: a string and its flip always land in the
+// same class (direction reversal describes the same cycles).
+func TestQuickClassClosedUnderFlip(t *testing.T) {
+	err := quick.Check(func(bits uint16, pRaw uint8) bool {
+		s := randomValidString(bits, pRaw)
+		return Canon(s) == Canon(Flip(s))
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRunLengthsRoundTrip: run-length encoding round-trips and always
+// has even length with alternating runs summing to p.
+func TestQuickRunLengthsRoundTrip(t *testing.T) {
+	err := quick.Check(func(bits uint16, pRaw uint8) bool {
+		s := randomValidString(bits, pRaw)
+		runs := RunLengths(s)
+		if len(runs)%2 != 0 {
+			return false
+		}
+		sum := 0
+		for _, r := range runs {
+			if r < 1 {
+				return false
+			}
+			sum += r
+		}
+		return sum == len(s) && FromRunLengths(runs) == s
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReflectionsClosedUnderPeriod: the reflection-shift set is
+// closed under adding the period (used by the exactly-once argument).
+func TestQuickReflectionsClosedUnderPeriod(t *testing.T) {
+	err := quick.Check(func(bits uint16, pRaw uint8) bool {
+		s := randomValidString(bits, pRaw)
+		p := len(s)
+		q := period(s)
+		refl := reflections(s)
+		set := make(map[int]bool, len(refl))
+		for _, r := range refl {
+			set[r] = true
+		}
+		for _, r := range refl {
+			if !set[(r+q)%p] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

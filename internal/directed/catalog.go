@@ -1,0 +1,69 @@
+package directed
+
+import "math/rand"
+
+// Common labels for the threat-detection patterns of Section 1.1.
+const (
+	LabelKnows Label = iota
+	LabelBuysFrom
+	LabelBookedOn
+)
+
+// DirectedCycle returns the directed p-cycle X1 → X2 → … → Xp → X1 with a
+// single label. Its automorphism group is the cyclic group of order p
+// (rotations only — no flips, unlike the undirected cycle's dihedral
+// group of order 2p).
+func DirectedCycle(p int, label Label) *DiPattern {
+	arcs := make([]PatternArc, p)
+	for i := 0; i < p; i++ {
+		arcs[i] = PatternArc{From: i, To: (i + 1) % p, Label: label}
+	}
+	return MustPattern(p, arcs)
+}
+
+// DirectedPath returns the directed path X1 → X2 → … → Xp (trivial
+// automorphism group).
+func DirectedPath(p int, label Label) *DiPattern {
+	arcs := make([]PatternArc, p-1)
+	for i := 0; i+1 < p; i++ {
+		arcs[i] = PatternArc{From: i, To: i + 1, Label: label}
+	}
+	return MustPattern(p, arcs)
+}
+
+// FanIn returns a pattern with p-1 sources all pointing at a common sink
+// (node p-1) — e.g. "p-1 accounts all paying the same account".
+func FanIn(p int, label Label) *DiPattern {
+	arcs := make([]PatternArc, p-1)
+	for i := 0; i+1 < p; i++ {
+		arcs[i] = PatternArc{From: i, To: p - 1, Label: label}
+	}
+	return MustPattern(p, arcs)
+}
+
+// ThreatRing is a simplified version of the paper's Section 1.1 threat
+// query: k people booked on the same flight (node k, label BookedOn),
+// who also form a "buys from" ring among themselves.
+func ThreatRing(k int) *DiPattern {
+	var arcs []PatternArc
+	for i := 0; i < k; i++ {
+		arcs = append(arcs, PatternArc{From: i, To: k, Label: LabelBookedOn})
+		arcs = append(arcs, PatternArc{From: i, To: (i + 1) % k, Label: LabelBuysFrom})
+	}
+	return MustPattern(k+1, arcs)
+}
+
+// RandomDiGraph returns a random directed graph with n nodes and m arcs,
+// labels drawn uniformly from [0, labels).
+func RandomDiGraph(n, m, labels int, seed int64) *DiGraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewDiBuilder(n)
+	for b.NumArcs() < m {
+		from := int32(rng.Intn(n))
+		to := int32(rng.Intn(n))
+		if from != to {
+			b.AddArc(from, to, Label(rng.Intn(labels)))
+		}
+	}
+	return b.Graph()
+}

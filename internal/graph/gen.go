@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Gnm returns an Erdős–Rényi random graph with n nodes and exactly m
+// distinct edges (or the maximum possible if m exceeds it). The same seed
+// always yields the same graph.
+func Gnm(n, m int, seed int64) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for b.NumEdges() < m {
+		u := Node(rng.Intn(n))
+		v := Node(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Graph()
+}
+
+// Gnp returns an Erdős–Rényi random graph where each of the n(n-1)/2
+// possible edges is present independently with probability p.
+func Gnp(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(Node(u), Node(v))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// PowerLaw returns a Chung–Lu random graph whose expected degree sequence
+// follows a power law with the given exponent (>1) and average degree. It
+// models the heavy-tailed degree distributions of the social networks the
+// paper's applications section discusses ("the curse of the last reducer").
+func PowerLaw(n int, avgDeg, exponent float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		// Weight ∝ (i+1)^{-1/(exponent-1)}, the standard Chung–Lu recipe.
+		w[i] = math.Pow(float64(i+1), -1.0/(exponent-1.0))
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	b := NewBuilder(n)
+	total := avgDeg * float64(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := w[u] * w[v] / total
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				b.AddEdge(Node(u), Node(v))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// CycleGraph returns the cycle C_n (n ≥ 3).
+func CycleGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(Node(i), Node((i+1)%n))
+	}
+	return b.Graph()
+}
+
+// CompleteGraph returns the complete graph K_n.
+func CompleteGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(Node(u), Node(v))
+		}
+	}
+	return b.Graph()
+}
+
+// PathGraph returns the path P_n on n nodes.
+func PathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(Node(i), Node(i+1))
+	}
+	return b.Graph()
+}
+
+// StarGraph returns a star with one hub (node 0) and n-1 leaves.
+func StarGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, Node(i))
+	}
+	return b.Graph()
+}
+
+// GridGraph returns the rows×cols grid graph.
+func GridGraph(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) Node { return Node(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteBipartite returns K_{a,b}: nodes 0..a-1 on one side, a..a+b-1 on
+// the other.
+func CompleteBipartite(a, b int) *Graph {
+	bld := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bld.AddEdge(Node(u), Node(a+v))
+		}
+	}
+	return bld.Graph()
+}
+
+// RegularTree returns the Δ-regular tree of the given depth: the root has
+// delta children, every other internal node has delta-1 children, so all
+// internal nodes have degree delta. Section 7.3 uses these trees to show
+// the O(m·Δ^{p-2}) bound is tight for stars.
+func RegularTree(delta, depth int) *Graph {
+	if delta < 2 {
+		panic("graph: RegularTree requires delta >= 2")
+	}
+	type queued struct {
+		id    Node
+		depth int
+	}
+	var edges []Edge
+	next := Node(1)
+	queue := []queued{{0, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth == depth {
+			continue
+		}
+		children := delta - 1
+		if cur.id == 0 {
+			children = delta
+		}
+		for c := 0; c < children; c++ {
+			edges = append(edges, Edge{cur.id, next})
+			queue = append(queue, queued{next, cur.depth + 1})
+			next++
+		}
+	}
+	return FromEdges(int(next), edges)
+}
+
+// BarabasiAlbert returns a preferential-attachment random graph: starting
+// from a small clique of m0 nodes, each new node attaches to k distinct
+// existing nodes chosen proportionally to degree. The result has the
+// heavy-tailed hubs that make wedge-based plans explode (the "curse of the
+// last reducer").
+func BarabasiAlbert(n, m0, k int, seed int64) *Graph {
+	if m0 < k || m0 < 1 || k < 1 {
+		panic("graph: BarabasiAlbert requires m0 >= k >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	// Repeated-endpoint list: sampling a uniform element is preferential
+	// attachment by degree.
+	var endpoints []Node
+	for u := 0; u < m0 && u < n; u++ {
+		for v := u + 1; v < m0; v++ {
+			b.AddEdge(Node(u), Node(v))
+			endpoints = append(endpoints, Node(u), Node(v))
+		}
+	}
+	for u := m0; u < n; u++ {
+		chosen := make(map[Node]bool, k)
+		for len(chosen) < k {
+			var t Node
+			if len(endpoints) == 0 {
+				t = Node(rng.Intn(u))
+			} else {
+				t = endpoints[rng.Intn(len(endpoints))]
+			}
+			if t != Node(u) {
+				chosen[t] = true
+			}
+		}
+		// Attach in sorted order so the endpoint list (and hence later
+		// sampling) is deterministic for a given seed.
+		targets := make([]Node, 0, len(chosen))
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
+			if b.AddEdge(Node(u), t) {
+				endpoints = append(endpoints, Node(u), t)
+			}
+		}
+	}
+	return b.Graph()
+}

@@ -1,0 +1,162 @@
+// Package graph provides the data-graph substrate for the subgraph
+// enumeration algorithms: a compact undirected graph with O(1) edge lookup,
+// degree-based and hash-based node orders, random generators and simple
+// edge-list I/O.
+//
+// Terminology follows the paper: the data graph G has n nodes and m edges.
+// Nodes are dense 0-based int32 identifiers. Every edge is stored once in
+// canonical orientation (U < V).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node identifies a node of a data graph. Node identifiers are dense and
+// 0-based.
+type Node = int32
+
+// Edge is an undirected edge stored in canonical orientation U < V.
+type Edge struct {
+	U, V Node
+}
+
+// Canon returns e with endpoints swapped if necessary so that U < V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Key packs the canonical edge into a single comparable word.
+func (e Edge) Key() uint64 {
+	c := e.Canon()
+	return uint64(uint32(c.U))<<32 | uint64(uint32(c.V))
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is an immutable undirected simple graph. Build one with a Builder.
+type Graph struct {
+	n     int
+	adj   [][]Node
+	edges []Edge
+	set   map[uint64]struct{}
+}
+
+// NumNodes returns n, the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns m, the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u Node) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree Δ over all nodes (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := range g.adj {
+		if len(g.adj[u]) > max {
+			max = len(g.adj[u])
+		}
+	}
+	return max
+}
+
+// Neighbors returns the sorted adjacency list of u. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(u Node) []Node { return g.adj[u] }
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v Node) bool {
+	if u == v {
+		return false
+	}
+	_, ok := g.set[Edge{u, v}.Key()]
+	return ok
+}
+
+// Edges returns all edges in canonical orientation, sorted lexicographically.
+// The returned slice is shared with the graph and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Builder accumulates edges for a Graph. Duplicate edges and self-loops are
+// ignored.
+type Builder struct {
+	n   int
+	set map[uint64]struct{}
+}
+
+// NewBuilder returns a builder for a graph with n nodes (0 .. n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, set: make(map[uint64]struct{})}
+}
+
+// AddEdge records the undirected edge {u, v}. It reports whether the edge
+// was new (false for duplicates and self-loops). It panics if an endpoint is
+// out of range, since that is always a programming error.
+func (b *Builder) AddEdge(u, v Node) bool {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return false
+	}
+	k := Edge{u, v}.Key()
+	if _, dup := b.set[k]; dup {
+		return false
+	}
+	b.set[k] = struct{}{}
+	return true
+}
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.set) }
+
+// Graph freezes the builder into an immutable Graph.
+func (b *Builder) Graph() *Graph {
+	g := &Graph{
+		n:     b.n,
+		adj:   make([][]Node, b.n),
+		edges: make([]Edge, 0, len(b.set)),
+		set:   b.set,
+	}
+	for k := range b.set {
+		e := Edge{Node(k >> 32), Node(uint32(k))}
+		g.edges = append(g.edges, e)
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].U != g.edges[j].U {
+			return g.edges[i].U < g.edges[j].U
+		}
+		return g.edges[i].V < g.edges[j].V
+	})
+	deg := make([]int, b.n)
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for u := 0; u < b.n; u++ {
+		g.adj[u] = make([]Node, 0, deg[u])
+	}
+	for _, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+	}
+	for u := 0; u < b.n; u++ {
+		sort.Slice(g.adj[u], func(i, j int) bool { return g.adj[u][i] < g.adj[u][j] })
+	}
+	return g
+}
+
+// FromEdges builds a graph with n nodes from the given edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Graph()
+}

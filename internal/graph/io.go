@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in a plain text format: a header line
+// "# nodes N" followed by one "u v" pair per line.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' other than the node-count header are ignored, so files from other
+// tools (e.g. SNAP exports with comments) load as long as node ids are dense;
+// without a header the node count is one more than the largest id seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []Edge
+	maxID := Node(-1)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var declared int
+			if _, err := fmt.Sscanf(line, "# nodes %d", &declared); err == nil {
+				n = declared
+			}
+			continue
+		}
+		var u, v Node
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %q: %v", lineNo, line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		edges = append(edges, Edge{u, v})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxID) + 1
+	}
+	if int(maxID) >= n {
+		return nil, fmt.Errorf("graph: node id %d exceeds declared node count %d", maxID, n)
+	}
+	return FromEdges(n, edges), nil
+}

@@ -1,0 +1,91 @@
+package graph
+
+import "sort"
+
+// Sparse is a small adjacency structure over an arbitrary (non-dense) node
+// id set. Reducers use it for the fragment of the data graph they receive:
+// node identifiers keep their global meaning but only a few appear.
+type Sparse struct {
+	adj   map[Node][]Node
+	set   map[uint64]struct{}
+	nodes []Node // sorted, lazily built
+	m     int
+}
+
+// NewSparse returns an empty Sparse graph.
+func NewSparse() *Sparse {
+	return &Sparse{adj: make(map[Node][]Node), set: make(map[uint64]struct{})}
+}
+
+// SparseFromEdges builds a Sparse graph from the given edges, ignoring
+// duplicates and self-loops.
+func SparseFromEdges(edges []Edge) *Sparse {
+	s := NewSparse()
+	for _, e := range edges {
+		s.AddEdge(e.U, e.V)
+	}
+	return s
+}
+
+// AddEdge inserts the undirected edge {u, v}; duplicates and self-loops are
+// ignored. It reports whether the edge was new.
+func (s *Sparse) AddEdge(u, v Node) bool {
+	if u == v {
+		return false
+	}
+	k := Edge{u, v}.Key()
+	if _, dup := s.set[k]; dup {
+		return false
+	}
+	s.set[k] = struct{}{}
+	s.adj[u] = append(s.adj[u], v)
+	s.adj[v] = append(s.adj[v], u)
+	s.nodes = nil
+	s.m++
+	return true
+}
+
+// HasEdge reports whether {u, v} is present.
+func (s *Sparse) HasEdge(u, v Node) bool {
+	if u == v {
+		return false
+	}
+	_, ok := s.set[Edge{u, v}.Key()]
+	return ok
+}
+
+// Neighbors returns the neighbors of u (unsorted).
+func (s *Sparse) Neighbors(u Node) []Node { return s.adj[u] }
+
+// Degree returns the degree of u.
+func (s *Sparse) Degree(u Node) int { return len(s.adj[u]) }
+
+// NumEdges returns the number of distinct edges.
+func (s *Sparse) NumEdges() int { return s.m }
+
+// Nodes returns the sorted list of nodes with at least one incident edge.
+func (s *Sparse) Nodes() []Node {
+	if s.nodes == nil {
+		s.nodes = make([]Node, 0, len(s.adj))
+		for u := range s.adj {
+			s.nodes = append(s.nodes, u)
+		}
+		sort.Slice(s.nodes, func(i, j int) bool { return s.nodes[i] < s.nodes[j] })
+	}
+	return s.nodes
+}
+
+// Edges returns all edges in canonical orientation, sorted.
+func (s *Sparse) Edges() []Edge {
+	out := make([]Edge, 0, s.m)
+	for k := range s.set {
+		out = append(out, Edge{Node(k >> 32), Node(uint32(k))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

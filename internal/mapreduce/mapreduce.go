@@ -1,0 +1,215 @@
+// Package mapreduce is an in-process, single-round map-reduce engine with
+// explicit shuffle semantics and cost accounting. It stands in for the
+// Hadoop-style cluster the paper assumes.
+//
+// The engine reproduces exactly the quantities the paper measures:
+//
+//   - Communication cost — the number of key-value pairs emitted by the
+//     mappers (every pair is "shipped" to the reducer owning its key).
+//   - Number of reducers — the number of distinct keys (the paper's "what we
+//     are actually measuring is the number of different keys").
+//   - Computation cost — reducers report abstract work units through their
+//     context; the engine aggregates them so Section 6's convertibility
+//     claims (total reducer work = Θ(serial work)) can be tested.
+//
+// Map and reduce phases both run on a worker pool, mirroring the genuine
+// parallelism of the model while staying deterministic in all reported
+// metrics.
+package mapreduce
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Metrics aggregates the cost measures of one map-reduce job.
+type Metrics struct {
+	// KeyValuePairs is the communication cost: every (key, value) emitted by
+	// a mapper counts once.
+	KeyValuePairs int64
+	// DistinctKeys is the number of reducers that receive at least one pair.
+	DistinctKeys int64
+	// MaxReducerInput is the largest number of values any single reducer
+	// received (the "curse of the last reducer" measure).
+	MaxReducerInput int64
+	// ReducerWork is the sum of work units reported by all reducers via
+	// Context.AddWork.
+	ReducerWork int64
+	// Outputs is the total number of values emitted by reducers.
+	Outputs int64
+}
+
+// Add accumulates other into m (for summing metrics across jobs).
+func (m *Metrics) Add(other Metrics) {
+	m.KeyValuePairs += other.KeyValuePairs
+	m.DistinctKeys += other.DistinctKeys
+	if other.MaxReducerInput > m.MaxReducerInput {
+		m.MaxReducerInput = other.MaxReducerInput
+	}
+	m.ReducerWork += other.ReducerWork
+	m.Outputs += other.Outputs
+}
+
+// Context is handed to each reducer invocation so it can report abstract
+// computation work (e.g. candidate assignments examined).
+type Context struct{ work int64 }
+
+// AddWork records n units of reducer computation.
+func (c *Context) AddWork(n int64) { c.work += n }
+
+// Mapper transforms one input element into key-value pairs via emit.
+type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
+
+// Reducer consumes all values grouped under one key.
+type Reducer[K comparable, V any, O any] func(ctx *Context, key K, values []V, emit func(O))
+
+// Config controls engine execution.
+type Config struct {
+	// Parallelism is the number of worker goroutines per phase;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes one map-reduce round: mapFn is applied to every input, the
+// emitted pairs are shuffled (grouped by key), and reduceFn is applied to
+// each group. It returns the reducer outputs (in no particular order) and
+// the job metrics.
+func Run[I any, K comparable, V any, O any](
+	cfg Config,
+	inputs []I,
+	mapFn Mapper[I, K, V],
+	reduceFn Reducer[K, V, O],
+) ([]O, Metrics) {
+	nw := cfg.workers()
+	if nw > len(inputs) && len(inputs) > 0 {
+		nw = len(inputs)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	// Map phase: each worker owns a contiguous shard of the inputs and
+	// builds a private partial shuffle (key → values).
+	partials := make([]map[K][]V, nw)
+	pairCounts := make([]int64, nw)
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		if lo >= hi {
+			partials[w] = map[K][]V{}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make(map[K][]V)
+			var pairs int64
+			emit := func(k K, v V) {
+				local[k] = append(local[k], v)
+				pairs++
+			}
+			for i := lo; i < hi; i++ {
+				mapFn(inputs[i], emit)
+			}
+			partials[w] = local
+			pairCounts[w] = pairs
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Shuffle: merge the partial groupings.
+	groups := make(map[K][]V)
+	var metrics Metrics
+	for w := 0; w < nw; w++ {
+		metrics.KeyValuePairs += pairCounts[w]
+		for k, vs := range partials[w] {
+			groups[k] = append(groups[k], vs...)
+		}
+		partials[w] = nil
+	}
+	metrics.DistinctKeys = int64(len(groups))
+
+	// Reduce phase: distribute keys over workers.
+	keys := make([]K, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+		if n := int64(len(groups[k])); n > metrics.MaxReducerInput {
+			metrics.MaxReducerInput = n
+		}
+	}
+	rw := cfg.workers()
+	if rw > len(keys) && len(keys) > 0 {
+		rw = len(keys)
+	}
+	if rw < 1 {
+		rw = 1
+	}
+	outs := make([][]O, rw)
+	works := make([]int64, rw)
+	kchunk := (len(keys) + rw - 1) / rw
+	for w := 0; w < rw; w++ {
+		lo := w * kchunk
+		hi := lo + kchunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []O
+			ctx := &Context{}
+			emit := func(o O) { out = append(out, o) }
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				reduceFn(ctx, k, groups[k], emit)
+			}
+			outs[w] = out
+			works[w] = ctx.work
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var result []O
+	for w := 0; w < rw; w++ {
+		result = append(result, outs[w]...)
+		metrics.ReducerWork += works[w]
+	}
+	metrics.Outputs = int64(len(result))
+	return result, metrics
+}
+
+// ReducerLoads runs only the map phase and returns the sorted list of
+// per-reducer input sizes, for skew studies without paying for the reduce
+// computation.
+func ReducerLoads[I any, K comparable, V any](
+	cfg Config,
+	inputs []I,
+	mapFn Mapper[I, K, V],
+) []int {
+	counts := make(map[K]int)
+	for _, in := range inputs {
+		mapFn(in, func(k K, _ V) { counts[k]++ })
+	}
+	loads := make([]int, 0, len(counts))
+	for _, c := range counts {
+		loads = append(loads, c)
+	}
+	sort.Ints(loads)
+	return loads
+}

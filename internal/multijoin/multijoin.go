@@ -1,0 +1,273 @@
+// Package multijoin implements Section 7.4: multiway joins over binary
+// relations of *different* sizes, where the uniform Θ(m^{p/2}) bounds of
+// Section 7 are no longer tight. For the 5-cycle join
+//
+//	R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) ⋈ R4(D,E) ⋈ R5(E,A)
+//
+// the paper gives a complete analysis: if every rotation satisfies
+// n_j·n_{j+1}·n_{j+3} ≥ (product of the other two) the tight bound is
+// √(n1…n5) (case A); otherwise the minimum violating triple product is
+// tight (case B), achieved by the algorithm that joins the two relations
+// of the violating attribute first and crosses with the opposite relation.
+//
+// This package provides the generic backtracking evaluation, the case-B
+// algorithm, and generators for the worst-case instances the paper's
+// lower-bound constructions describe, so the bounds can be measured.
+package multijoin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuple is one row of a binary relation.
+type Tuple struct {
+	A, B int64
+}
+
+// Relation is a set of binary tuples (duplicates removed on construction).
+type Relation struct {
+	Tuples []Tuple
+	index  map[int64][]int64 // first attribute → second attributes
+	rindex map[int64][]int64 // second attribute → first attributes
+	set    map[Tuple]struct{}
+}
+
+// NewRelation builds a relation from tuples, removing duplicates.
+func NewRelation(tuples []Tuple) *Relation {
+	r := &Relation{
+		index:  make(map[int64][]int64),
+		rindex: make(map[int64][]int64),
+		set:    make(map[Tuple]struct{}, len(tuples)),
+	}
+	for _, t := range tuples {
+		if _, dup := r.set[t]; dup {
+			continue
+		}
+		r.set[t] = struct{}{}
+		r.Tuples = append(r.Tuples, t)
+		r.index[t.A] = append(r.index[t.A], t.B)
+		r.rindex[t.B] = append(r.rindex[t.B], t.A)
+	}
+	return r
+}
+
+// Size returns the number of tuples n_i.
+func (r *Relation) Size() int { return len(r.Tuples) }
+
+// Has reports whether (a, b) is present.
+func (r *Relation) Has(a, b int64) bool {
+	_, ok := r.set[Tuple{a, b}]
+	return ok
+}
+
+// Forward returns the second attributes paired with a.
+func (r *Relation) Forward(a int64) []int64 { return r.index[a] }
+
+// Backward returns the first attributes paired with b.
+func (r *Relation) Backward(b int64) []int64 { return r.rindex[b] }
+
+// CycleJoin evaluates the p-cycle join R_0(X0,X1) ⋈ R_1(X1,X2) ⋈ … ⋈
+// R_{p-1}(X_{p-1},X0) by backtracking from the smallest relation, and
+// returns the result rows (one value per attribute) plus the number of
+// candidate extensions examined.
+func CycleJoin(rels []*Relation) ([][]int64, int64) {
+	p := len(rels)
+	if p < 2 {
+		panic("multijoin: need at least two relations")
+	}
+	// Start from the smallest relation to bound the seed set.
+	start := 0
+	for i, r := range rels {
+		if r.Size() < rels[start].Size() {
+			start = i
+		}
+	}
+	var (
+		out  [][]int64
+		work int64
+		vals = make([]int64, p)
+	)
+	var extend func(step int)
+	// After seeding attributes (start, start+1) from rels[start], extend
+	// forward around the cycle: step s binds attribute start+1+s via
+	// relation start+s; the final relation closes the cycle as a check.
+	extend = func(step int) {
+		if step == p-1 {
+			// All attributes bound; check the closing relation
+			// R_{start-1}(X_{start-1}, X_start).
+			last := (start + p - 1) % p
+			work++
+			if rels[last].Has(vals[last], vals[start]) {
+				out = append(out, append([]int64(nil), vals...))
+			}
+			return
+		}
+		rel := (start + step) % p
+		from := vals[(start+step)%p]
+		for _, next := range rels[rel].Forward(from) {
+			work++
+			vals[(start+step+1)%p] = next
+			extend(step + 1)
+		}
+	}
+	for _, t := range rels[start].Tuples {
+		vals[start] = t.A
+		vals[(start+1)%p] = t.B
+		extend(1)
+	}
+	return out, work
+}
+
+// FiveCycleCaseB evaluates the 5-cycle join with the paper's case-B plan
+// for the violating rotation j (attribute shared by R_j and R_{j+1},
+// opposite relation R_{j+3}): join R_j ⋈ R_{j+1} on the shared attribute,
+// cross with every tuple of R_{j+3}, and check the two remaining
+// relations. Its work is O(n_j·n_{j+1}·n_{j+3}) — the case-B bound.
+func FiveCycleCaseB(rels []*Relation, j int) ([][]int64, int64) {
+	if len(rels) != 5 {
+		panic("multijoin: case B plan is for 5-cycle joins")
+	}
+	// Relabel so that the shared attribute is A (between R5 and R1 in the
+	// paper's naming): rotate the join so rels[j] plays R1 and rels[j-1]
+	// plays R5. Attribute X_i sits between rels[i-1] and rels[i].
+	// Pair: R_{j-1}(X_{j-1}, X_j) and R_j(X_j, X_{j+1}) share X_j.
+	jm1 := (j + 4) % 5
+	opp := (j + 2) % 5 // R_{j+2}(X_{j+2}, X_{j+3}) is opposite attribute X_j
+	chk1 := (j + 1) % 5
+	chk2 := (j + 3) % 5
+	var (
+		out  [][]int64
+		work int64
+	)
+	vals := make([]int64, 5)
+	for _, t := range rels[j].Tuples { // (X_j, X_{j+1})
+		for _, xjm1 := range rels[jm1].Backward(t.A) { // (X_{j-1}, X_j)
+			for _, t3 := range rels[opp].Tuples { // (X_{j+2}, X_{j+3})
+				work++
+				vals[j] = t.A
+				vals[(j+1)%5] = t.B
+				vals[jm1] = xjm1
+				vals[opp] = t3.A
+				vals[(opp+1)%5] = t3.B
+				// Check R_{j+1}(X_{j+1}, X_{j+2}) and R_{j+3}(X_{j+3}, X_{j+4}).
+				if rels[chk1].Has(vals[chk1], vals[(chk1+1)%5]) &&
+					rels[chk2].Has(vals[chk2], vals[(chk2+1)%5]) {
+					out = append(out, append([]int64(nil), vals...))
+				}
+			}
+		}
+	}
+	return out, work
+}
+
+// Bound returns the tight worst-case output bound for 5-cycle join sizes
+// (Section 7.4): min over attributes of the triple product (the two
+// relations sharing the attribute times the opposite relation), capped by
+// √(n1…n5). caseA reports whether the square-root bound governs; rotation
+// is the shared-attribute index of the minimal triple, in the convention
+// FiveCycleCaseB expects (useful as its plan choice in either case).
+func Bound(sizes [5]float64) (bound float64, caseA bool, rotation int) {
+	prod := 1.0
+	for _, v := range sizes {
+		prod *= v
+	}
+	sqrt := sqrtf(prod)
+	minTriple := -1.0
+	rotation = 0
+	for j := 0; j < 5; j++ {
+		// Relations R_j and R_{j+1} share attribute X_{j+1}; the opposite
+		// relation is R_{j+3}.
+		t := sizes[j] * sizes[(j+1)%5] * sizes[(j+3)%5]
+		if minTriple < 0 || t < minTriple {
+			minTriple = t
+			rotation = (j + 1) % 5
+		}
+	}
+	if sqrt <= minTriple {
+		return sqrt, true, rotation
+	}
+	return minTriple, false, rotation
+}
+
+// WorstCaseA builds a 5-cycle join instance achieving the case-A bound:
+// every attribute gets a domain of d values and every relation is the full
+// d×d grid (n_i = d², output = d⁵ = √(Π n_i)).
+func WorstCaseA(d int) []*Relation {
+	rels := make([]*Relation, 5)
+	for i := range rels {
+		tuples := make([]Tuple, 0, d*d)
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				tuples = append(tuples, Tuple{int64(a), int64(b)})
+			}
+		}
+		rels[i] = NewRelation(tuples)
+	}
+	return rels
+}
+
+// WorstCaseB builds an instance achieving the case-B bound n1·n5·n3 (the
+// paper's sub-case a, requiring n2 ≥ n1·n3 and n4 ≥ n3·n5): a single
+// shared A value, B-domain of size n1, E-domain of size n5, C-domain of
+// size n3 (D pinned), R2 connecting every (B, C) pair, R4 connecting D to
+// every E. pad adds that many non-joining junk tuples to R2 and R4 so the
+// instance sits strictly inside case B rather than on the A/B boundary.
+func WorstCaseB(n1, n3, n5, pad int) []*Relation {
+	const a, d = 0, 0
+	r1 := make([]Tuple, 0, n1)
+	for b := 0; b < n1; b++ {
+		r1 = append(r1, Tuple{a, int64(b)}) // (A, B)
+	}
+	r5 := make([]Tuple, 0, n5)
+	for e := 0; e < n5; e++ {
+		r5 = append(r5, Tuple{int64(e), a}) // (E, A)
+	}
+	r3 := make([]Tuple, 0, n3)
+	for c := 0; c < n3; c++ {
+		r3 = append(r3, Tuple{int64(c), d}) // (C, D)
+	}
+	r2 := make([]Tuple, 0, n1*n3+pad)
+	for b := 0; b < n1; b++ {
+		for c := 0; c < n3; c++ {
+			r2 = append(r2, Tuple{int64(b), int64(c)}) // (B, C)
+		}
+	}
+	r4 := make([]Tuple, 0, n5+pad)
+	for e := 0; e < n5; e++ {
+		r4 = append(r4, Tuple{d, int64(e)}) // (D, E)
+	}
+	for i := 0; i < pad; i++ {
+		junk := int64(1_000_000 + i)
+		r2 = append(r2, Tuple{junk, junk})
+		r4 = append(r4, Tuple{junk, junk})
+	}
+	return []*Relation{NewRelation(r1), NewRelation(r2), NewRelation(r3),
+		NewRelation(r4), NewRelation(r5)}
+}
+
+// SortRows orders join results lexicographically (for comparisons).
+func SortRows(rows [][]int64) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+// RowKey renders a join row as a comparable string.
+func RowKey(row []int64) string { return fmt.Sprint(row) }
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	y := x
+	for i := 0; i < 60; i++ {
+		y = (y + x/y) / 2
+	}
+	return y
+}

@@ -1,0 +1,205 @@
+package multijoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomRelation(rng *rand.Rand, size, domA, domB int) *Relation {
+	tuples := make([]Tuple, 0, size)
+	for len(tuples) < size {
+		tuples = append(tuples, Tuple{int64(rng.Intn(domA)), int64(rng.Intn(domB))})
+	}
+	return NewRelation(tuples)
+}
+
+func TestRelationDedup(t *testing.T) {
+	r := NewRelation([]Tuple{{1, 2}, {1, 2}, {2, 1}})
+	if r.Size() != 2 {
+		t.Fatalf("size = %d, want 2", r.Size())
+	}
+	if !r.Has(1, 2) || r.Has(2, 2) {
+		t.Error("Has wrong")
+	}
+	if len(r.Forward(1)) != 1 || len(r.Backward(1)) != 1 {
+		t.Error("indexes wrong")
+	}
+}
+
+// TestCycleJoinTriangleOracle: a 3-cycle join over one symmetric relation
+// counts directed triangles (each triangle appears 6 times as ordered
+// tuples if the relation holds both orientations; here a small explicit
+// check).
+func TestCycleJoinSmall(t *testing.T) {
+	// R(A,B) = {(1,2),(2,3),(3,1)}: the only 3-cycle row is (1,2,3) cyclic.
+	r := NewRelation([]Tuple{{1, 2}, {2, 3}, {3, 1}})
+	rows, _ := CycleJoin([]*Relation{r, r, r})
+	if len(rows) != 3 {
+		t.Fatalf("3-cycle join rows = %d, want 3 (three rotations)", len(rows))
+	}
+	for _, row := range rows {
+		if !r.Has(row[0], row[1]) || !r.Has(row[1], row[2]) || !r.Has(row[2], row[0]) {
+			t.Fatalf("invalid row %v", row)
+		}
+	}
+}
+
+// TestCaseBMatchesGeneric: the case-B plan returns exactly the generic
+// join result on random instances.
+func TestCaseBMatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rels := []*Relation{
+			randomRelation(rng, 12, 5, 5),
+			randomRelation(rng, 40, 5, 5),
+			randomRelation(rng, 10, 5, 5),
+			randomRelation(rng, 40, 5, 5),
+			randomRelation(rng, 12, 5, 5),
+		}
+		want, _ := CycleJoin(rels)
+		for j := 0; j < 5; j++ {
+			got, _ := FiveCycleCaseB(rels, j)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d rotation %d: case B found %d rows, generic %d",
+					seed, j, len(got), len(want))
+			}
+			SortRows(got)
+			SortRows(want)
+			for i := range want {
+				if RowKey(got[i]) != RowKey(want[i]) {
+					t.Fatalf("seed %d rotation %d: row %d differs", seed, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWorstCaseAAchievesBound: the full-grid instance outputs exactly
+// √(Π n_i) = d⁵ rows.
+func TestWorstCaseAAchievesBound(t *testing.T) {
+	d := 3
+	rels := WorstCaseA(d)
+	var sizes [5]float64
+	for i, r := range rels {
+		sizes[i] = float64(r.Size())
+	}
+	bound, caseA, _ := Bound(sizes)
+	rows, _ := CycleJoin(rels)
+	want := d * d * d * d * d
+	if len(rows) != want {
+		t.Fatalf("case A instance: %d rows, want %d", len(rows), want)
+	}
+	if !caseA {
+		t.Error("equal grid sizes should be case A")
+	}
+	if float64(len(rows)) != bound {
+		t.Errorf("output %d != bound %v", len(rows), bound)
+	}
+}
+
+// TestWorstCaseBAchievesBound: the paper's case-B construction outputs
+// exactly n1·n3·n5 rows, and the case-B plan's work matches its
+// complexity.
+func TestWorstCaseBAchievesBound(t *testing.T) {
+	n1, n3, n5 := 4, 3, 5
+	rels := WorstCaseB(n1, n3, n5, 30)
+	if rels[0].Size() != n1 || rels[2].Size() != n3 || rels[4].Size() != n5 {
+		t.Fatalf("construction sizes wrong: %d %d %d",
+			rels[0].Size(), rels[2].Size(), rels[4].Size())
+	}
+	rows, _ := CycleJoin(rels)
+	want := n1 * n3 * n5
+	if len(rows) != want {
+		t.Fatalf("case B instance: %d rows, want %d", len(rows), want)
+	}
+	var sizes [5]float64
+	for i, r := range rels {
+		sizes[i] = float64(r.Size())
+	}
+	bound, caseA, rot := Bound(sizes)
+	if caseA {
+		t.Error("construction should be strictly case B after padding")
+	}
+	if float64(len(rows)) != bound {
+		t.Errorf("output %d != bound %v (rotation %d)", len(rows), bound, rot)
+	}
+	if rot != 0 {
+		t.Errorf("violating attribute should be A (rotation 0), got %d", rot)
+	}
+	// The case-B plan on the violating rotation does work proportional to
+	// n1·n3·n5 — independent of the padded sizes of R2 and R4.
+	got, work := FiveCycleCaseB(rels, rot)
+	if len(got) != want {
+		t.Fatalf("case B plan found %d rows, want %d", len(got), want)
+	}
+	if work > int64(4*n1*n3*n5) {
+		t.Errorf("case B work %d exceeds O(n1·n3·n5) = %d", work, n1*n3*n5)
+	}
+}
+
+// TestQuickBoundIsUpperBound: on random instances the measured output
+// never exceeds the Section 7.4 bound.
+func TestQuickBoundIsUpperBound(t *testing.T) {
+	err := quick.Check(func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		var rels []*Relation
+		var sizes [5]float64
+		for i := 0; i < 5; i++ {
+			size := 2 + rng.Intn(25)
+			rels = append(rels, randomRelation(rng, size, 4, 4))
+			sizes[i] = float64(rels[i].Size())
+		}
+		bound, _, _ := Bound(sizes)
+		rows, _ := CycleJoin(rels)
+		return float64(len(rows)) <= bound+1e-9
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperClosingExample: sizes (n,1,n,1,n) give exactly n output rows on
+// the matching worst-case instance (the corrected version of the paper's
+// closing example — see EXPERIMENTS.md).
+func TestPaperClosingExample(t *testing.T) {
+	n := 7
+	// R2 = {(b,c)}, R4 = {(d,e)} singletons pin B,C,D,E; R1, R3, R5 share
+	// the A / C / E values so A ranges over n values.
+	var r1, r3, r5 []Tuple
+	for a := 0; a < n; a++ {
+		r1 = append(r1, Tuple{int64(a), 0}) // (A, b)
+	}
+	r3 = append(r3, Tuple{0, 0}) // (c, d) — single tuple? sizes want n3 = n
+	for i := 1; i < n; i++ {
+		r3 = append(r3, Tuple{int64(i + 100), int64(i + 100)}) // padding tuples
+	}
+	for a := 0; a < n; a++ {
+		r5 = append(r5, Tuple{0, int64(a)}) // (e, A)
+	}
+	rels := []*Relation{
+		NewRelation(r1),
+		NewRelation([]Tuple{{0, 0}}),
+		NewRelation(r3),
+		NewRelation([]Tuple{{0, 0}}),
+		NewRelation(r5),
+	}
+	rows, _ := CycleJoin(rels)
+	if len(rows) != n {
+		t.Fatalf("closing example: %d rows, want %d", len(rows), n)
+	}
+	sizes := [5]float64{float64(n), 1, float64(n), 1, float64(n)}
+	bound, _, _ := Bound(sizes)
+	if float64(len(rows)) != bound {
+		t.Errorf("output %d != bound %v", len(rows), bound)
+	}
+}
+
+func TestCycleJoinPanicsOnTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CycleJoin([]*Relation{NewRelation(nil)})
+}

@@ -1,0 +1,176 @@
+// Package perm implements permutations of small index sets and automorphism
+// groups of small graphs. The CQ-generation pipeline of Section 3 of the
+// paper quotients the symmetric group Sym(p) by the automorphism group
+// Aut(S) of the sample graph; this package supplies both groups.
+package perm
+
+import "fmt"
+
+// Perm is a permutation of 0..n-1: p[i] is the image of i.
+type Perm []int
+
+// Identity returns the identity permutation on n elements.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Compose returns the permutation r = p∘q, i.e. r(i) = p(q(i)).
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm: compose length mismatch")
+	}
+	r := make(Perm, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// Inverse returns the inverse permutation.
+func (p Perm) Inverse() Perm {
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[v] = i
+	}
+	return r
+}
+
+// IsIdentity reports whether p is the identity.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether p is a permutation of 0..len(p)-1.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func (p Perm) String() string { return fmt.Sprint([]int(p)) }
+
+// ApplyToList returns the list obtained by applying p elementwise:
+// out[i] = p(list[i]). This is the action on node orderings used in
+// Theorem 3.1: an ordering is a list of nodes by rank, and an automorphism
+// maps it to another ordering.
+func (p Perm) ApplyToList(list []int) []int {
+	out := make([]int, len(list))
+	for i, v := range list {
+		out[i] = p[v]
+	}
+	return out
+}
+
+// ForEach calls fn with every permutation of 0..n-1 in lexicographic order.
+// The slice passed to fn is reused; fn must copy it to retain it. Iteration
+// stops early if fn returns false.
+func ForEach(n int, fn func(Perm) bool) {
+	p := Identity(n)
+	for {
+		if !fn(p) {
+			return
+		}
+		// Next lexicographic permutation.
+		i := n - 2
+		for i >= 0 && p[i] >= p[i+1] {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		j := n - 1
+		for p[j] <= p[i] {
+			j--
+		}
+		p[i], p[j] = p[j], p[i]
+		for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+			p[l], p[r] = p[r], p[l]
+		}
+	}
+}
+
+// Automorphisms returns the automorphism group of the graph given by its
+// p×p boolean adjacency matrix, as a list of permutations (the identity is
+// always included). It uses backtracking with degree pruning, which is
+// instantaneous for the sample-graph sizes (p ≤ 12) this library targets.
+func Automorphisms(adj [][]bool) []Perm {
+	p := len(adj)
+	deg := make([]int, p)
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] {
+				deg[i]++
+			}
+		}
+	}
+	var (
+		out    []Perm
+		img    = make([]int, p)
+		used   = make([]bool, p)
+		extend func(i int)
+	)
+	extend = func(i int) {
+		if i == p {
+			out = append(out, append(Perm(nil), img...))
+			return
+		}
+		for cand := 0; cand < p; cand++ {
+			if used[cand] || deg[cand] != deg[i] {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if adj[i][j] != adj[cand][img[j]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			img[i] = cand
+			used[cand] = true
+			extend(i + 1)
+			used[cand] = false
+		}
+	}
+	extend(0)
+	return out
+}
+
+// Factorial returns n! as a float64 (exact for n ≤ 20 in the integer sense,
+// adequate for the counting formulas in the paper).
+func Factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

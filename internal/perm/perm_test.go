@@ -1,0 +1,165 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCountAndOrder(t *testing.T) {
+	var perms []Perm
+	ForEach(4, func(p Perm) bool {
+		perms = append(perms, append(Perm(nil), p...))
+		return true
+	})
+	if len(perms) != 24 {
+		t.Fatalf("got %d permutations of 4, want 24", len(perms))
+	}
+	if !perms[0].Equal(Perm{0, 1, 2, 3}) || !perms[23].Equal(Perm{3, 2, 1, 0}) {
+		t.Error("lexicographic order broken at endpoints")
+	}
+	for i := 1; i < len(perms); i++ {
+		if !lexLess(perms[i-1], perms[i]) {
+			t.Fatalf("not lexicographically increasing at %d: %v then %v", i, perms[i-1], perms[i])
+		}
+	}
+	for _, p := range perms {
+		if !p.Valid() {
+			t.Fatalf("invalid permutation %v", p)
+		}
+	}
+}
+
+func lexLess(a, b Perm) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	count := 0
+	ForEach(5, func(Perm) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop: got %d calls", count)
+	}
+}
+
+func TestComposeInverse(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed uint32) bool {
+		p := pseudoRandomPerm(6, seed)
+		q := pseudoRandomPerm(6, seed*2654435761+1)
+		// (p∘q)(i) == p(q(i))
+		r := p.Compose(q)
+		for i := 0; i < 6; i++ {
+			if r[i] != p[q[i]] {
+				return false
+			}
+		}
+		return p.Compose(p.Inverse()).IsIdentity() && p.Inverse().Compose(p).IsIdentity()
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func pseudoRandomPerm(n int, seed uint32) Perm {
+	p := Identity(n)
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = s*1664525 + 1013904223
+		j := int(s) % (i + 1)
+		if j < 0 {
+			j += i + 1
+		}
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func TestApplyToList(t *testing.T) {
+	p := Perm{2, 0, 1} // 0→2, 1→0, 2→1
+	got := p.ApplyToList([]int{0, 1, 2})
+	want := []int{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ApplyToList = %v, want %v", got, want)
+		}
+	}
+}
+
+func adjFromEdges(p int, edges [][2]int) [][]bool {
+	adj := make([][]bool, p)
+	for i := range adj {
+		adj[i] = make([]bool, p)
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	return adj
+}
+
+func TestAutomorphismGroupSizes(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     int
+		edges [][2]int
+		want  int
+	}{
+		{"triangle", 3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, 6},
+		{"square(C4)", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}, 8},
+		{"C5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}, 10},
+		{"C6", 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}}, 12},
+		{"K4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 24},
+		{"path3", 3, [][2]int{{0, 1}, {1, 2}}, 2},
+		{"lollipop", 4, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 3}}, 2},
+		{"star4 (hub+3)", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}}, 6},
+		{"empty2", 2, nil, 2},
+	}
+	for _, c := range cases {
+		auts := Automorphisms(adjFromEdges(c.p, c.edges))
+		if len(auts) != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.name, len(auts), c.want)
+		}
+		// The group must contain the identity and be closed under inverse.
+		hasID := false
+		for _, a := range auts {
+			if a.IsIdentity() {
+				hasID = true
+			}
+			if !a.Valid() {
+				t.Errorf("%s: invalid automorphism %v", c.name, a)
+			}
+		}
+		if !hasID {
+			t.Errorf("%s: identity missing", c.name)
+		}
+	}
+}
+
+func TestAutomorphismsPreserveEdges(t *testing.T) {
+	adj := adjFromEdges(4, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 3}})
+	for _, a := range Automorphisms(adj) {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if adj[i][j] != adj[a[i]][a[j]] {
+					t.Fatalf("%v does not preserve adjacency", a)
+				}
+			}
+		}
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	for n, want := range map[int]float64{0: 1, 1: 1, 5: 120, 10: 3628800} {
+		if got := Factorial(n); got != want {
+			t.Errorf("Factorial(%d) = %v, want %v", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package sample
+
+import "fmt"
+
+// SingleEdge returns the 2-node sample graph consisting of one edge.
+func SingleEdge() *Sample {
+	return MustNew(2, [][2]int{{0, 1}}, "X", "Y")
+}
+
+// TwoPath returns the 2-path u–v–w (3 nodes, midpoint X).
+func TwoPath() *Sample {
+	return MustNew(3, [][2]int{{0, 1}, {1, 2}}, "U", "X", "W")
+}
+
+// Triangle returns the triangle sample graph of Section 2.
+func Triangle() *Sample {
+	return MustNew(3, [][2]int{{0, 1}, {0, 2}, {1, 2}}, "X", "Y", "Z")
+}
+
+// Square returns the 4-cycle of Fig. 3 with the paper's node names:
+// edges (W,X), (X,Y), (Y,Z), (W,Z).
+func Square() *Sample {
+	return MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}, "W", "X", "Y", "Z")
+}
+
+// Lollipop returns the lollipop of Fig. 4: a triangle X,Y,Z with a pendant
+// node W attached to X — edges (W,X), (X,Y), (X,Z), (Y,Z).
+func Lollipop() *Sample {
+	return MustNew(4, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 3}}, "W", "X", "Y", "Z")
+}
+
+// Cycle returns the cycle C_p with nodes X1..Xp in cyclic order (Fig. 8).
+func Cycle(p int) *Sample {
+	if p < 3 {
+		panic(fmt.Sprintf("sample: cycle needs p >= 3, got %d", p))
+	}
+	edges := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		edges[i] = [2]int{i, (i + 1) % p}
+	}
+	return MustNew(p, edges)
+}
+
+// Complete returns the clique K_p.
+func Complete(p int) *Sample {
+	var edges [][2]int
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return MustNew(p, edges)
+}
+
+// Path returns the path P_p on p nodes.
+func Path(p int) *Sample {
+	var edges [][2]int
+	for i := 0; i+1 < p; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return MustNew(p, edges)
+}
+
+// Star returns the star with one hub (node 0) and p-1 leaves; Section 7.3
+// uses p-node stars to show the bounded-degree bound is tight.
+func Star(p int) *Sample {
+	var edges [][2]int
+	for i := 1; i < p; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return MustNew(p, edges)
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d (2^d nodes), one of the
+// regular sample graphs Theorem 4.1 mentions.
+func Hypercube(d int) *Sample {
+	p := 1 << d
+	var edges [][2]int
+	for u := 0; u < p; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return MustNew(p, edges)
+}
+
+// TriangleWithPendantPath returns a triangle with a 2-edge tail, a handy
+// 5-node test pattern that decomposes into an odd cycle plus an edge.
+func TriangleWithPendantPath() *Sample {
+	return MustNew(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}})
+}
+
+// Named returns a catalog sample by name, or nil if unknown. Recognized:
+// edge, twopath, triangle, square, lollipop, c3..c12, k3..k8, path3..path8,
+// star3..star8, q3.
+func Named(name string) *Sample {
+	switch name {
+	case "edge":
+		return SingleEdge()
+	case "twopath":
+		return TwoPath()
+	case "triangle":
+		return Triangle()
+	case "square":
+		return Square()
+	case "lollipop":
+		return Lollipop()
+	case "q3":
+		return Hypercube(3)
+	case "tripath":
+		return TriangleWithPendantPath()
+	}
+	var p int
+	if _, err := fmt.Sscanf(name, "c%d", &p); err == nil && p >= 3 && p <= 12 {
+		return Cycle(p)
+	}
+	if _, err := fmt.Sscanf(name, "k%d", &p); err == nil && p >= 2 && p <= 8 {
+		return Complete(p)
+	}
+	if _, err := fmt.Sscanf(name, "path%d", &p); err == nil && p >= 2 && p <= 8 {
+		return Path(p)
+	}
+	if _, err := fmt.Sscanf(name, "star%d", &p); err == nil && p >= 2 && p <= 8 {
+		return Star(p)
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package sample
+
+import (
+	"testing"
+
+	"subgraphmr/internal/graph"
+)
+
+func TestCatalogBasics(t *testing.T) {
+	cases := []struct {
+		s       *Sample
+		p, m    int
+		regular int // -1 if not regular
+		auts    int
+	}{
+		{Triangle(), 3, 3, 2, 6},
+		{Square(), 4, 4, 2, 8},
+		{Lollipop(), 4, 4, -1, 2},
+		{Cycle(5), 5, 5, 2, 10},
+		{Cycle(6), 6, 6, 2, 12},
+		{Complete(4), 4, 6, 3, 24},
+		{Path(4), 4, 3, -1, 2},
+		{Star(4), 4, 3, -1, 6},
+		{Hypercube(3), 8, 12, 3, 48},
+		{SingleEdge(), 2, 1, 1, 2},
+		{TwoPath(), 3, 2, -1, 2},
+	}
+	for _, c := range cases {
+		if c.s.P() != c.p || c.s.NumEdges() != c.m {
+			t.Errorf("%v: p=%d m=%d, want %d/%d", c.s, c.s.P(), c.s.NumEdges(), c.p, c.m)
+		}
+		d, reg := c.s.IsRegular()
+		if c.regular >= 0 && (!reg || d != c.regular) {
+			t.Errorf("%v: IsRegular = (%d,%v), want (%d,true)", c.s, d, reg, c.regular)
+		}
+		if c.regular < 0 && reg {
+			t.Errorf("%v: should not be regular", c.s)
+		}
+		if got := len(c.s.Automorphisms()); got != c.auts {
+			t.Errorf("%v: |Aut| = %d, want %d", c.s, got, c.auts)
+		}
+		if !c.s.IsConnected() {
+			t.Errorf("%v: should be connected", c.s)
+		}
+	}
+}
+
+func TestPaperNames(t *testing.T) {
+	sq := Square()
+	want := []string{"W", "X", "Y", "Z"}
+	for i, w := range want {
+		if sq.Name(i) != w {
+			t.Errorf("square name %d = %q, want %q", i, sq.Name(i), w)
+		}
+	}
+	// Fig. 3: the square has edges (W,X), (X,Y), (Y,Z), (W,Z).
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if !sq.HasEdge(e[0], e[1]) {
+			t.Errorf("square missing edge %v", e)
+		}
+	}
+	if sq.HasEdge(0, 2) || sq.HasEdge(1, 3) {
+		t.Error("square should have no diagonals")
+	}
+	// Fig. 4: the lollipop is a triangle X,Y,Z with pendant W on X.
+	lp := Lollipop()
+	if lp.Degree(0) != 1 || lp.Degree(1) != 3 {
+		t.Error("lollipop degrees wrong: W should be pendant, X the hub")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := New(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+	if _, err := New(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if _, err := New(3, nil, "a"); err == nil {
+		t.Error("wrong name count should fail")
+	}
+	s, err := New(3, [][2]int{{0, 1}, {1, 0}})
+	if err != nil || s.NumEdges() != 1 {
+		t.Error("duplicate edges should collapse")
+	}
+}
+
+func TestNamedCatalog(t *testing.T) {
+	for _, name := range []string{"edge", "twopath", "triangle", "square", "lollipop", "c5", "c7", "k4", "path4", "star5", "q3", "tripath"} {
+		if Named(name) == nil {
+			t.Errorf("Named(%q) = nil", name)
+		}
+	}
+	if Named("nosuch") != nil || Named("c2") != nil {
+		t.Error("unknown names should return nil")
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	lp := Lollipop() // X (node 1) is the articulation point
+	ap := lp.ArticulationPoints()
+	want := []bool{false, true, false, false}
+	for i := range want {
+		if ap[i] != want[i] {
+			t.Errorf("lollipop AP[%d] = %v, want %v", i, ap[i], want[i])
+		}
+	}
+	for i, isAP := range Cycle(6).ArticulationPoints() {
+		if isAP {
+			t.Errorf("cycle has no articulation points, got node %d", i)
+		}
+	}
+	pa := Path(5).ArticulationPoints()
+	for i := 1; i < 4; i++ {
+		if !pa[i] {
+			t.Errorf("path interior node %d should be an articulation point", i)
+		}
+	}
+	if pa[0] || pa[4] {
+		t.Error("path endpoints are not articulation points")
+	}
+}
+
+func TestIsInstance(t *testing.T) {
+	g := graph.CompleteGraph(5)
+	tri := Triangle()
+	if !tri.IsInstance(g, []graph.Node{0, 1, 2}) {
+		t.Error("triangle in K5 rejected")
+	}
+	if tri.IsInstance(g, []graph.Node{0, 1, 1}) {
+		t.Error("non-injective assignment accepted")
+	}
+	path := graph.PathGraph(4)
+	if tri.IsInstance(path, []graph.Node{0, 1, 2}) {
+		t.Error("triangle found in a path")
+	}
+	if tri.IsInstance(path, []graph.Node{0, 1}) {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestCanonicalOrbit(t *testing.T) {
+	tri := Triangle()
+	// All 6 assignments of one triangle instance share a canonical form.
+	want := tri.Key([]graph.Node{3, 5, 9})
+	perms := [][]graph.Node{
+		{3, 5, 9}, {3, 9, 5}, {5, 3, 9}, {5, 9, 3}, {9, 3, 5}, {9, 5, 3},
+	}
+	for _, phi := range perms {
+		if tri.Key(phi) != want {
+			t.Errorf("Key(%v) = %q, want %q", phi, tri.Key(phi), want)
+		}
+	}
+	if want != "3,5,9" {
+		t.Errorf("canonical key = %q, want \"3,5,9\"", want)
+	}
+	// Exactly one member of the orbit is canonical.
+	canonical := 0
+	for _, phi := range perms {
+		if tri.IsCanonical(phi) {
+			canonical++
+		}
+	}
+	if canonical != 1 {
+		t.Errorf("%d canonical members, want 1", canonical)
+	}
+	// The lollipop's group has order 2: only the Y/Z swap matters.
+	lp := Lollipop()
+	if lp.Key([]graph.Node{7, 1, 5, 2}) != lp.Key([]graph.Node{7, 1, 2, 5}) {
+		t.Error("lollipop Y/Z swap should not change the key")
+	}
+	if lp.Key([]graph.Node{7, 1, 5, 2}) == lp.Key([]graph.Node{1, 7, 5, 2}) {
+		t.Error("swapping W and X is not an automorphism; keys must differ")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	cases := []struct {
+		name  string
+		s     *Sample
+		wantQ int
+	}{
+		{"edge", SingleEdge(), 0},
+		{"triangle", Triangle(), 0},
+		{"square", Square(), 0},                   // two matching edges
+		{"lollipop", Lollipop(), 0},               // W-X plus Y-Z
+		{"C5", Cycle(5), 0},                       // one odd-Hamiltonian part
+		{"C6", Cycle(6), 0},                       // three matching edges
+		{"path3", Path(3), 1},                     // one edge + one isolated node
+		{"star4", Star(4), 2},                     // one edge + two isolated leaves
+		{"tripath", TriangleWithPendantPath(), 0}, // triangle + edge
+		{"K5", Complete(5), 0},
+	}
+	for _, c := range cases {
+		parts, q := c.s.Decompose()
+		if q != c.wantQ {
+			t.Errorf("%s: q = %d, want %d", c.name, q, c.wantQ)
+		}
+		covered := make([]bool, c.s.P())
+		for _, part := range parts {
+			for _, v := range part.Vars {
+				if covered[v] {
+					t.Fatalf("%s: node %d covered twice", c.name, v)
+				}
+				covered[v] = true
+			}
+			switch part.Kind {
+			case EdgePair:
+				if len(part.Vars) != 2 || !c.s.HasEdge(part.Vars[0], part.Vars[1]) {
+					t.Errorf("%s: invalid edge part %v", c.name, part)
+				}
+			case OddHamiltonian:
+				L := len(part.Vars)
+				if L < 3 || L%2 == 0 {
+					t.Errorf("%s: bad odd part size %d", c.name, L)
+				}
+				for i := 0; i < L; i++ {
+					if !c.s.HasEdge(part.Vars[i], part.Vars[(i+1)%L]) {
+						t.Errorf("%s: part %v is not a Hamilton cycle", c.name, part.Vars)
+					}
+				}
+			case IsolatedNode:
+				if len(part.Vars) != 1 {
+					t.Errorf("%s: bad isolated part %v", c.name, part)
+				}
+			}
+		}
+		for v, ok := range covered {
+			if !ok {
+				t.Errorf("%s: node %d not covered", c.name, v)
+			}
+		}
+	}
+}
+
+func TestDecomposeC7IsSingleOddPart(t *testing.T) {
+	parts, q := Cycle(7).Decompose()
+	if q != 0 || len(parts) != 1 || parts[0].Kind != OddHamiltonian || len(parts[0].Vars) != 7 {
+		t.Errorf("C7 should decompose into one odd-Hamiltonian part, got %v (q=%d)", parts, q)
+	}
+}

@@ -1,0 +1,216 @@
+// Package serial implements the serial enumeration algorithms of
+// Sections 6–7 of the paper, which double as the per-reducer algorithms of
+// the map-reduce strategies:
+//
+//   - Triangle enumeration in O(m^{3/2}) (Schank's ordered edge iteration,
+//     the serial baseline of Section 2).
+//   - Properly ordered 2-paths in O(m^{3/2}) (Lemma 7.1).
+//   - Algorithm 1 "OddCycle": every C_{2k+1} exactly once, a
+//     (0, (2k+1)/2)-algorithm (Theorem 7.1).
+//   - Decomposition-based enumeration for arbitrary samples (Lemma 6.1,
+//     Theorem 7.2), meeting the Alon Θ(m^{p/2}) bound.
+//   - The bounded-degree O(m·Δ^{p-2}) algorithm (Theorem 7.3).
+//   - A brute-force oracle used by the test suite.
+//
+// All enumerators return abstract work units (candidates examined) so the
+// convertibility property of Section 6 — total reducer work within a
+// constant factor of serial work — is measurable.
+package serial
+
+import (
+	"sort"
+
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/sample"
+)
+
+// Triangles enumerates every triangle of g exactly once, emitting node
+// triples sorted by identifier. It runs in O(m^{3/2}) using the
+// nondecreasing-degree order (each triangle is reported from its
+// order-least node). The returned count is the work performed (candidate
+// pairs examined), for convertibility metering.
+func Triangles(g *graph.Graph, emit func(a, b, c graph.Node)) int64 {
+	rank := g.DegreeRank()
+	n := g.NumNodes()
+	var work int64
+	var succ []graph.Node
+	for vi := 0; vi < n; vi++ {
+		v := graph.Node(vi)
+		succ = succ[:0]
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				succ = append(succ, u)
+			}
+		}
+		for i := 0; i < len(succ); i++ {
+			for j := i + 1; j < len(succ); j++ {
+				work++
+				u, w := succ[i], succ[j]
+				if g.HasEdge(u, w) {
+					a, b, c := sort3(v, u, w)
+					emit(a, b, c)
+				}
+			}
+		}
+	}
+	return work
+}
+
+// CountTriangles returns the number of triangles in g.
+func CountTriangles(g *graph.Graph) int64 {
+	var count int64
+	Triangles(g, func(_, _, _ graph.Node) { count++ })
+	return count
+}
+
+// TwoPath is a properly ordered 2-path u–v–w: its midpoint v precedes both
+// endpoints in the order used, and U < W by identifier for uniqueness.
+type TwoPath struct {
+	U, V, W graph.Node
+}
+
+// ProperlyOrdered2Paths enumerates every properly ordered 2-path of g with
+// respect to the nondecreasing-degree order (Lemma 7.1). There are
+// O(m^{3/2}) of them and they are generated in time proportional to their
+// number.
+func ProperlyOrdered2Paths(g *graph.Graph, emit func(TwoPath)) int64 {
+	rank := g.DegreeRank()
+	n := g.NumNodes()
+	var count int64
+	var succ []graph.Node
+	for vi := 0; vi < n; vi++ {
+		v := graph.Node(vi)
+		succ = succ[:0]
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				succ = append(succ, u)
+			}
+		}
+		for i := 0; i < len(succ); i++ {
+			for j := i + 1; j < len(succ); j++ {
+				u, w := succ[i], succ[j]
+				if u > w {
+					u, w = w, u
+				}
+				emit(TwoPath{u, v, w})
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// BruteForce enumerates every instance of s in g exactly once by exhaustive
+// backtracking, returning canonical assignments (lexicographically least in
+// their Aut(S)-orbit). It is the oracle against which every other
+// enumerator is tested.
+func BruteForce(g *graph.Graph, s *sample.Sample) [][]graph.Node {
+	p := s.P()
+	// Bind variables so each new one touches a bound one when possible.
+	plan := planOrder(s)
+	phi := make([]graph.Node, p)
+	bound := make([]bool, p)
+	var out [][]graph.Node
+
+	var extend func(step int)
+	extend = func(step int) {
+		if step == p {
+			if s.IsCanonical(phi) {
+				out = append(out, append([]graph.Node(nil), phi...))
+			}
+			return
+		}
+		v := plan[step]
+		anchor := -1
+		for w := 0; w < p; w++ {
+			if bound[w] && s.HasEdge(v, w) {
+				anchor = w
+				break
+			}
+		}
+		try := func(c graph.Node) {
+			for w := 0; w < p; w++ {
+				if bound[w] && phi[w] == c {
+					return
+				}
+			}
+			for w := 0; w < p; w++ {
+				if bound[w] && s.HasEdge(v, w) && !g.HasEdge(c, phi[w]) {
+					return
+				}
+			}
+			phi[v] = c
+			bound[v] = true
+			extend(step + 1)
+			bound[v] = false
+		}
+		if anchor >= 0 {
+			for _, c := range g.Neighbors(phi[anchor]) {
+				try(c)
+			}
+		} else {
+			for c := 0; c < g.NumNodes(); c++ {
+				try(graph.Node(c))
+			}
+		}
+	}
+	extend(0)
+	sortAssignments(out)
+	return out
+}
+
+// planOrder returns a variable order where each variable after the first in
+// its connected component is adjacent to an earlier one.
+func planOrder(s *sample.Sample) []int {
+	p := s.P()
+	var plan []int
+	bound := make([]bool, p)
+	for len(plan) < p {
+		best, bestScore := -1, -1
+		for v := 0; v < p; v++ {
+			if bound[v] {
+				continue
+			}
+			score := 0
+			for w := 0; w < p; w++ {
+				if s.HasEdge(v, w) {
+					if bound[w] {
+						score += p
+					}
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		bound[best] = true
+		plan = append(plan, best)
+	}
+	return plan
+}
+
+func sortAssignments(out [][]graph.Node) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+func sort3(a, b, c graph.Node) (graph.Node, graph.Node, graph.Node) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}

@@ -1,0 +1,216 @@
+// Package shares implements the communication-cost optimization of
+// Section 4 (following Afrati & Ullman's multiway-join method): each CQ
+// variable X gets a share x — the number of buckets its values hash into —
+// and the communication cost per data edge is a sum of terms, one per
+// relational subgoal, each the product of the subgoal's relation-size
+// coefficient and the shares of all variables missing from the subgoal.
+// Minimizing that sum subject to the product of shares equaling the reducer
+// budget k is a geometric program, solved here by projected gradient
+// descent in log space, with the paper's domination rule applied first.
+package shares
+
+import (
+	"fmt"
+	"math"
+)
+
+// Subgoal is one relational subgoal of the cost model: the variables it
+// contains and its relation-size coefficient (1 for a single orientation,
+// 2 when both orientations of the edge are shipped — Section 4.3).
+type Subgoal struct {
+	Vars []int
+	Coef float64
+}
+
+// Model is the communication-cost model of one map-reduce job evaluating a
+// CQ (or a merged group of CQs) with NumVars variables.
+type Model struct {
+	NumVars  int
+	Subgoals []Subgoal
+}
+
+// Validate checks variable indices.
+func (m Model) Validate() error {
+	if m.NumVars < 1 {
+		return fmt.Errorf("shares: model needs at least one variable")
+	}
+	if len(m.Subgoals) == 0 {
+		return fmt.Errorf("shares: model needs at least one subgoal")
+	}
+	for _, sg := range m.Subgoals {
+		if sg.Coef <= 0 {
+			return fmt.Errorf("shares: nonpositive coefficient %v", sg.Coef)
+		}
+		for _, v := range sg.Vars {
+			if v < 0 || v >= m.NumVars {
+				return fmt.Errorf("shares: variable %d out of range", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Dominated returns, per variable, whether its share is forced to 1 by the
+// domination rule of [Afrati–Ullman 2011] quoted in Example 4.1: if every
+// subgoal containing X also contains Y (and X's subgoals are a strict
+// subset, or a tie broken toward the lower index), X is dominated and its
+// share may be taken as 1.
+func (m Model) Dominated() []bool {
+	inc := make([][]bool, m.NumVars) // inc[v][t]: subgoal t contains v
+	for v := range inc {
+		inc[v] = make([]bool, len(m.Subgoals))
+	}
+	for t, sg := range m.Subgoals {
+		for _, v := range sg.Vars {
+			inc[v][t] = true
+		}
+	}
+	subset := func(a, b []bool) (sub, strict bool) {
+		sub, strict = true, false
+		for t := range a {
+			if a[t] && !b[t] {
+				return false, false
+			}
+			if b[t] && !a[t] {
+				strict = true
+			}
+		}
+		return sub, strict
+	}
+	dominated := make([]bool, m.NumVars)
+	for v := 0; v < m.NumVars; v++ {
+		for w := 0; w < m.NumVars && !dominated[v]; w++ {
+			if v == w || dominated[w] {
+				continue
+			}
+			sub, strict := subset(inc[v], inc[w])
+			if sub && (strict || w < v) {
+				dominated[v] = true
+			}
+		}
+	}
+	return dominated
+}
+
+// CostPerEdge evaluates the communication cost per data edge for a given
+// share vector: Σ_t coef_t · Π_{v ∉ t} shares_v.
+func (m Model) CostPerEdge(shares []float64) float64 {
+	total := 0.0
+	for _, sg := range m.Subgoals {
+		in := make(map[int]bool, len(sg.Vars))
+		for _, v := range sg.Vars {
+			in[v] = true
+		}
+		term := sg.Coef
+		for v := 0; v < m.NumVars; v++ {
+			if !in[v] {
+				term *= shares[v]
+			}
+		}
+		total += term
+	}
+	return total
+}
+
+// Replications returns the per-subgoal replication factor — how many
+// reducers each data edge is shipped to for that subgoal (coefficient
+// included, so a bidirectional subgoal counts both copies).
+func (m Model) Replications(shares []float64) []float64 {
+	out := make([]float64, len(m.Subgoals))
+	for t, sg := range m.Subgoals {
+		in := make(map[int]bool, len(sg.Vars))
+		for _, v := range sg.Vars {
+			in[v] = true
+		}
+		r := sg.Coef
+		for v := 0; v < m.NumVars; v++ {
+			if !in[v] {
+				r *= shares[v]
+			}
+		}
+		out[t] = r
+	}
+	return out
+}
+
+// LagrangeSums returns, per variable, the sum of cost terms whose product
+// includes that variable's share — the quantities the paper's optimality
+// condition requires to be equal (for variables with share > 1). Tests use
+// this to certify solver output.
+func (m Model) LagrangeSums(shares []float64) []float64 {
+	sums := make([]float64, m.NumVars)
+	for _, sg := range m.Subgoals {
+		in := make(map[int]bool, len(sg.Vars))
+		for _, v := range sg.Vars {
+			in[v] = true
+		}
+		term := sg.Coef
+		for v := 0; v < m.NumVars; v++ {
+			if !in[v] {
+				term *= shares[v]
+			}
+		}
+		for v := 0; v < m.NumVars; v++ {
+			if !in[v] {
+				sums[v] += term
+			}
+		}
+	}
+	return sums
+}
+
+// ProductOfShares returns Π shares_v.
+func ProductOfShares(shares []float64) float64 {
+	p := 1.0
+	for _, s := range shares {
+		p *= s
+	}
+	return p
+}
+
+// RoundShares converts an optimal fractional share vector into integer
+// bucket counts ≥ 1 for an actual run. Because k is the parallelism budget
+// (the constraint is Π shares = k, not ≤ k — shrinking shares always
+// shrinks communication but defeats the point of having k reducers), the
+// rounding picks, among all floor/ceil combinations with product ≤ k, the
+// one with the largest product, breaking ties by lowest predicted cost.
+func (m Model) RoundShares(shares []float64, k float64) []int {
+	n := len(shares)
+	lo := make([]int, n)
+	for v, s := range shares {
+		f := int(math.Floor(s + 1e-6))
+		if f < 1 {
+			f = 1
+		}
+		lo[v] = f
+	}
+	best := append([]int(nil), lo...)
+	bestProd := 0.0
+	bestCost := math.Inf(1)
+	// Try all floor/ceil combinations (n ≤ 12 in practice; cap the search).
+	if n <= 16 {
+		fs := make([]float64, n)
+		for mask := 0; mask < 1<<n; mask++ {
+			prod := 1.0
+			for v := 0; v < n; v++ {
+				s := lo[v]
+				if mask&(1<<v) != 0 {
+					s++
+				}
+				fs[v] = float64(s)
+				prod *= fs[v]
+			}
+			if prod > k*1.0000001 {
+				continue
+			}
+			c := m.CostPerEdge(fs)
+			if prod > bestProd || (prod == bestProd && c < bestCost) {
+				bestProd, bestCost = prod, c
+				for v := 0; v < n; v++ {
+					best[v] = int(fs[v])
+				}
+			}
+		}
+	}
+	return best
+}

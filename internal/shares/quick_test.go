@@ -1,0 +1,168 @@
+package shares
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomModel builds a connected-ish random cost model from a seed.
+func randomModel(seed uint32) (Model, float64) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	nvars := 3 + rng.Intn(3) // 3..5
+	m := Model{NumVars: nvars}
+	// A spanning path keeps every variable used, then random extra edges.
+	for v := 0; v+1 < nvars; v++ {
+		coef := 1.0
+		if rng.Intn(2) == 0 {
+			coef = 2
+		}
+		m.Subgoals = append(m.Subgoals, Subgoal{Vars: []int{v, v + 1}, Coef: coef})
+	}
+	extra := rng.Intn(4)
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(nvars), rng.Intn(nvars)
+		if a == b {
+			continue
+		}
+		coef := 1.0
+		if rng.Intn(2) == 0 {
+			coef = 2
+		}
+		m.Subgoals = append(m.Subgoals, Subgoal{Vars: []int{a, b}, Coef: coef})
+	}
+	k := math.Pow(2, 2+rng.Float64()*12) // 4 .. ~16k
+	return m, k
+}
+
+// TestQuickSolverFeasibility: the solver always returns shares ≥ 1 whose
+// product is k (up to numerical tolerance), with dominated variables at 1.
+func TestQuickSolverFeasibility(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(seed uint32) bool {
+		m, k := randomModel(seed)
+		sol, err := m.Solve(k)
+		if err != nil {
+			return false
+		}
+		prod := 1.0
+		for v, s := range sol.Shares {
+			if s < 1-1e-9 {
+				return false
+			}
+			if sol.Dominated[v] && math.Abs(s-1) > 1e-12 {
+				return false
+			}
+			prod *= s
+		}
+		return math.Abs(prod-k) <= 1e-6*k
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolverLocalOptimality: no pairwise share exchange (multiply one
+// share by 1+δ, divide another, preserving the product) improves the cost.
+// Pairwise exchanges span the tangent space of the constraint manifold and
+// the objective is convex, so this certifies global optimality.
+func TestQuickSolverLocalOptimality(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed uint32) bool {
+		m, k := randomModel(seed)
+		sol, err := m.Solve(k)
+		if err != nil {
+			return false
+		}
+		base := m.CostPerEdge(sol.Shares)
+		const delta = 0.02
+		for i := 0; i < m.NumVars; i++ {
+			for j := 0; j < m.NumVars; j++ {
+				if i == j {
+					continue
+				}
+				trial := append([]float64(nil), sol.Shares...)
+				trial[i] *= 1 + delta
+				trial[j] /= 1 + delta
+				if trial[j] < 1 { // would leave the feasible region
+					continue
+				}
+				if m.CostPerEdge(trial) < base*(1-1e-4) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDominatedNeverHelps: fixing a dominated variable's share to 1
+// never increases the optimal cost (re-solve with the dominated variable's
+// subgoals intact and compare to an equal-shares assignment).
+func TestQuickDominatedNeverHelps(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed uint32) bool {
+		m, k := randomModel(seed)
+		sol, err := m.Solve(k)
+		if err != nil {
+			return false
+		}
+		// Equal shares over all variables is always feasible; optimal must
+		// not exceed it.
+		eq := make([]float64, m.NumVars)
+		s := math.Pow(k, 1/float64(m.NumVars))
+		for v := range eq {
+			eq[v] = s
+		}
+		return sol.CostPerEdge <= m.CostPerEdge(eq)*(1+1e-6)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBinomialIdentities: Pascal's rule and symmetry on the ranges
+// the counting formulas use.
+func TestQuickBinomialIdentities(t *testing.T) {
+	err := quick.Check(func(a, b uint8) bool {
+		n := int(a%40) + 1
+		k := int(b) % (n + 1)
+		if Binomial(n, k) != Binomial(n, n-k) {
+			return false
+		}
+		return Binomial(n, k) == Binomial(n-1, k-1)+Binomial(n-1, k)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFiveCycleBoundSanity: the bound is monotone in every relation
+// size and never exceeds the full product.
+func TestQuickFiveCycleBoundSanity(t *testing.T) {
+	err := quick.Check(func(a, b, c, d, e uint16) bool {
+		n := [5]float64{float64(a%999) + 1, float64(b%999) + 1, float64(c%999) + 1,
+			float64(d%999) + 1, float64(e%999) + 1}
+		bound := FiveCycleJoinBound(n)
+		prod := n[0] * n[1] * n[2] * n[3] * n[4]
+		if bound > prod+1e-9 {
+			return false
+		}
+		// Growing any single relation never shrinks the bound.
+		for i := 0; i < 5; i++ {
+			bigger := n
+			bigger[i] *= 2
+			if FiveCycleJoinBound(bigger) < bound-1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,394 @@
+package shares
+
+import (
+	"math"
+	"testing"
+
+	"subgraphmr/internal/cq"
+	"subgraphmr/internal/sample"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+// lollipopCQ1Model is the model of Example 4.1: the first merged lollipop
+// CQ, E(W,X) & E(X,Y) & E(X,Z) & E(Y,Z).
+func lollipopCQ1Model() Model {
+	return Model{NumVars: 4, Subgoals: []Subgoal{
+		{Vars: []int{0, 1}, Coef: 1}, // E(W,X)
+		{Vars: []int{1, 2}, Coef: 1}, // E(X,Y)
+		{Vars: []int{1, 3}, Coef: 1}, // E(X,Z)
+		{Vars: []int{2, 3}, Coef: 1}, // E(Y,Z)
+	}}
+}
+
+// TestExample41 reproduces Example 4.1: W is dominated (share 1), the
+// optimum has y = z and x = y² + y; with y = 5 the paper gets x = 30,
+// k = 750 reducers, and a total replication of 65 per edge.
+func TestExample41(t *testing.T) {
+	m := lollipopCQ1Model()
+	dom := m.Dominated()
+	if !dom[0] || dom[1] || dom[2] || dom[3] {
+		t.Fatalf("domination = %v, want only W", dom)
+	}
+	sol, err := m.Solve(750)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "share(W)", sol.Shares[0], 1, 1e-9)
+	approx(t, "share(X)", sol.Shares[1], 30, 2e-3)
+	approx(t, "share(Y)", sol.Shares[2], 5, 2e-3)
+	approx(t, "share(Z)", sol.Shares[3], 5, 2e-3)
+	approx(t, "cost", sol.CostPerEdge, 65, 1e-4)
+	approx(t, "product", ProductOfShares(sol.Shares), 750, 1e-6)
+	// Replication per subgoal: E(W,X)→25, E(X,Y)→5, E(X,Z)→5, E(Y,Z)→30.
+	reps := m.Replications(sol.Shares)
+	for i, want := range []float64{25, 5, 5, 30} {
+		approx(t, "replication", reps[i], want, 2e-3)
+	}
+}
+
+// TestExample42 reproduces Example 4.2: the square's variable-oriented cost
+// eyz + 2ewz + 2ewx + exy has optimal cost 4·√(2k) per edge, on the optimal
+// manifold x = z, y = 2w.
+func TestExample42(t *testing.T) {
+	m := Model{NumVars: 4, Subgoals: []Subgoal{
+		{Vars: []int{0, 1}, Coef: 1}, // E(W,X) single orientation
+		{Vars: []int{0, 3}, Coef: 1}, // E(W,Z) single orientation
+		{Vars: []int{1, 2}, Coef: 2}, // X-Y both orientations
+		{Vars: []int{2, 3}, Coef: 2}, // Y-Z both orientations
+	}}
+	for _, k := range []float64{8, 128, 50000} {
+		sol, err := m.Solve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "cost", sol.CostPerEdge, 4*math.Sqrt(2*k), 1e-3)
+		approx(t, "product", ProductOfShares(sol.Shares), k, 1e-6)
+		w, x, y, z := sol.Shares[0], sol.Shares[1], sol.Shares[2], sol.Shares[3]
+		// x = z and y = 2w hold across the optimal manifold whenever the
+		// shares are interior (> 1).
+		if w > 1.01 && x > 1.01 && y > 1.01 && z > 1.01 {
+			approx(t, "x=z", x/z, 1, 1e-2)
+			approx(t, "y=2w", y/w, 2, 1e-2)
+		}
+	}
+	// The model built from the generated square CQs is the same one.
+	auto := VariableOrientedModel(4, cq.MergeByOrientation(cq.GenerateForSample(sample.Square())))
+	sol, err := auto.Solve(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "auto cost", sol.CostPerEdge, 4*math.Sqrt(2*128), 1e-3)
+}
+
+// TestExample43 reproduces Example 4.3: C6 variable-oriented with
+// k = 500,000. The paper's shares (5, 10, 10, 10, 10, 10) are optimal.
+// Note: the paper states a total communication of 5×10^13 for m = 10^9
+// edges, but its own cost expression evaluates to 6×10^13 at those shares
+// (the two unidirectional terms are 10^4·e each, not 5×10^3·e); both our
+// solver and the direct evaluation agree on 6×10^4 per edge.
+func TestExample43(t *testing.T) {
+	m := Model{NumVars: 6, Subgoals: []Subgoal{
+		{Vars: []int{0, 1}, Coef: 1}, // E(X1,X2) unidirectional
+		{Vars: []int{0, 5}, Coef: 1}, // E(X1,X6) unidirectional
+		{Vars: []int{1, 2}, Coef: 2},
+		{Vars: []int{2, 3}, Coef: 2},
+		{Vars: []int{3, 4}, Coef: 2},
+		{Vars: []int{4, 5}, Coef: 2},
+	}}
+	paperShares := []float64{5, 10, 10, 10, 10, 10}
+	paperCost := m.CostPerEdge(paperShares)
+	approx(t, "cost at paper shares", paperCost, 60000, 1e-12)
+
+	sol, err := m.Solve(500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "product", ProductOfShares(sol.Shares), 500000, 1e-6)
+	approx(t, "solver cost", sol.CostPerEdge, 60000, 1e-3)
+	if sol.CostPerEdge > paperCost*(1+1e-6) {
+		t.Errorf("solver cost %v worse than paper's shares %v", sol.CostPerEdge, paperCost)
+	}
+	// Theorem 4.3 case (a): shares of X2..X6 are twice the share of X1 —
+	// verified as an invariant of the closed form; the solver may sit
+	// elsewhere on the flat optimal manifold with the same cost.
+	sums := m.LagrangeSums(paperShares)
+	for v := 1; v < 6; v++ {
+		approx(t, "lagrange equal", sums[v], sums[0], 1e-9)
+	}
+	// The same model falls out of the Section 5 run-sequence machinery via
+	// the generated CQs; here check EdgeUses on generated C6 CQs marks
+	// exactly the two X1 edges unidirectional.
+	uses := cq.EdgeUses(cq.MergeByOrientation(cq.GenerateForSample(sample.Cycle(6))))
+	for _, u := range uses {
+		wantBidi := !(u.I == 0 && (u.J == 1 || u.J == 5))
+		if u.Bidirectional() != wantBidi {
+			t.Errorf("edge (%d,%d) bidirectional=%v, want %v", u.I, u.J, u.Bidirectional(), wantBidi)
+		}
+	}
+}
+
+// TestRegularEqualShares verifies Theorem 4.1 on several regular samples:
+// the optimum assigns every variable the share k^{1/p}.
+func TestRegularEqualShares(t *testing.T) {
+	cases := []*sample.Sample{
+		sample.Triangle(),
+		sample.Cycle(4),
+		sample.Cycle(5),
+		sample.Complete(4),
+		sample.Hypercube(3),
+	}
+	for _, s := range cases {
+		p := s.P()
+		d, _ := s.IsRegular()
+		m := Model{NumVars: p}
+		for _, e := range s.Edges() {
+			m.Subgoals = append(m.Subgoals, Subgoal{Vars: []int{e[0], e[1]}, Coef: 1})
+		}
+		k := math.Pow(3, float64(p)) // shares of 3 each
+		sol, err := m.Solve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RegularCostPerEdge(p, d, k)
+		approx(t, s.String()+" cost", sol.CostPerEdge, want, 1e-3)
+		for v, sh := range sol.Shares {
+			approx(t, s.String()+" share", sh, 3, 2e-2)
+			_ = v
+		}
+	}
+}
+
+// TestTheorem44CombinedBeatsSplit verifies Theorem 4.4: evaluating all CQs
+// of a sample in one job never costs more than any split into subgroups.
+func TestTheorem44CombinedBeatsSplit(t *testing.T) {
+	samples := []*sample.Sample{
+		sample.Square(), sample.Lollipop(), sample.Cycle(5), sample.Path(4), sample.Star(4),
+	}
+	for _, s := range samples {
+		merged := cq.MergeByOrientation(cq.GenerateForSample(s))
+		if len(merged) < 2 {
+			continue
+		}
+		k := 4096.0
+		combined := VariableOrientedModel(s.P(), merged)
+		solAll, err := combined.Solve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Split into two halves in several ways.
+		for cut := 1; cut < len(merged); cut++ {
+			m1 := VariableOrientedModel(s.P(), merged[:cut])
+			m2 := VariableOrientedModel(s.P(), merged[cut:])
+			s1, err := m1.Solve(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := m2.Solve(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if solAll.CostPerEdge > (s1.CostPerEdge+s2.CostPerEdge)*(1+1e-6) {
+				t.Errorf("%v cut %d: combined %v > split %v+%v", s, cut,
+					solAll.CostPerEdge, s1.CostPerEdge, s2.CostPerEdge)
+			}
+		}
+	}
+}
+
+// TestExample44 checks the corrected closed form for Example 4.4 against
+// the solver on the concrete C6 scenario (s1 = s2 = s3 = 2, d = 2): nodes
+// 0,1 ∈ S1, 2,5 ∈ S2, 3,4 ∈ S3; bidirectional edges (0,1),(1,2),(0,5),
+// unidirectional (2,3),(3,4),(4,5).
+func TestExample44(t *testing.T) {
+	m := Model{NumVars: 6, Subgoals: []Subgoal{
+		{Vars: []int{0, 1}, Coef: 2},
+		{Vars: []int{1, 2}, Coef: 2},
+		{Vars: []int{0, 5}, Coef: 2},
+		{Vars: []int{2, 3}, Coef: 1},
+		{Vars: []int{3, 4}, Coef: 1},
+		{Vars: []int{4, 5}, Coef: 1},
+	}}
+	k := 1e6
+	a, b, z := Example44Shares(k, 2, 2, 2)
+	closed := []float64{a, a, z, b, b, z}
+	approx(t, "closed-form product", ProductOfShares(closed), k, 1e-9)
+	// The closed form satisfies the Lagrange equalities.
+	sums := m.LagrangeSums(closed)
+	for v := 1; v < 6; v++ {
+		approx(t, "eq44 lagrange", sums[v], sums[0], 1e-9)
+	}
+	sol, err := m.Solve(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "eq44 cost", sol.CostPerEdge, m.CostPerEdge(closed), 1e-3)
+}
+
+// TestEquation3 checks Example 4.5 / Eq. (3) on the concrete C4 scenario:
+// S2 = {X2, X4} independent and covering, X1 ∈ S1, X3 ∈ S3.
+func TestEquation3(t *testing.T) {
+	m := Model{NumVars: 4, Subgoals: []Subgoal{
+		{Vars: []int{0, 1}, Coef: 2}, // S1–S2: bidirectional
+		{Vars: []int{0, 3}, Coef: 2}, // S1–S2: bidirectional
+		{Vars: []int{1, 2}, Coef: 1}, // S2–S3: unidirectional
+		{Vars: []int{2, 3}, Coef: 1}, // S2–S3: unidirectional
+	}}
+	for _, k := range []float64{64, 4096} {
+		a, s3sh := Eq3Shares(k, 4, 1)
+		closed := []float64{a, a, s3sh, a}
+		approx(t, "eq3 product", ProductOfShares(closed), k, 1e-9)
+		wantCost := Eq3Cost(k, 4, 2, 1)
+		approx(t, "eq3 closed cost", m.CostPerEdge(closed), wantCost, 1e-9)
+		sol, err := m.Solve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "eq3 solver cost", sol.CostPerEdge, wantCost, 1e-3)
+	}
+}
+
+func TestTheorem42Counts(t *testing.T) {
+	// Triangles with b buckets: C(b+2, 3) useful reducers (Section 2.3).
+	if got := UsefulReducers(10, 3); got != 220 {
+		t.Errorf("UsefulReducers(10,3) = %v, want 220", got)
+	}
+	// The paper's example: b = 12 gives C(14,3)... for Partition it uses
+	// C(12,3) = 220 with b=12 ⇒ binomial sanity only.
+	if got := Binomial(12, 3); got != 220 {
+		t.Errorf("C(12,3) = %v, want 220", got)
+	}
+	if got := UsefulReducers(4, 5); got != Binomial(8, 5) {
+		t.Errorf("UsefulReducers(4,5) = %v", got)
+	}
+	if got := BucketEdgeReplication(10, 3); got != 10 {
+		t.Errorf("triangle bucket replication = %v, want b = 10", got)
+	}
+	if got := BucketEdgeReplication(8, 4); got != Binomial(9, 2) {
+		t.Errorf("BucketEdgeReplication(8,4) = %v", got)
+	}
+}
+
+// TestBucketVsGeneralizedPartition reproduces the Section 4.5 comparison:
+// generalized Partition ships each edge ≈ (1 + 1/(p-1)) times more than the
+// bucket-oriented method, for large b.
+func TestBucketVsGeneralizedPartition(t *testing.T) {
+	for _, p := range []int{3, 4, 5} {
+		b := 5000 // the ratio is asymptotic in b; finite-b corrections are O(p²/b)
+		ratio := GeneralizedPartitionEdgeReplication(b, p) / BucketEdgeReplication(b, p)
+		want := 1 + 1/float64(p-1)
+		approx(t, "partition/bucket ratio", ratio, want, 0.01)
+		if ratio <= 1 {
+			t.Errorf("p=%d: ratio %v should exceed 1", p, ratio)
+		}
+	}
+}
+
+func TestSection74Bounds(t *testing.T) {
+	// Equal sizes: case A, bound √(n^5).
+	n := 100.0
+	approx(t, "equal sizes", FiveCycleJoinBound([5]float64{n, n, n, n, n}),
+		math.Sqrt(math.Pow(n, 5)), 1e-12)
+	// The paper's closing example says sizes (1, n, 1, n, 1) give bound n;
+	// under its own case-B rule that pattern gives n1·n5·n3 = 1, and it is
+	// the complementary pattern (n, 1, n, 1, n) that yields n (three
+	// relations of size n, singleton R2 and R4 pin B,C,D,E, and A can take
+	// up to n values). See EXPERIMENTS.md.
+	approx(t, "paper example (complement pattern)",
+		FiveCycleJoinBound([5]float64{n, 1, n, 1, n}), n, 1e-12)
+	approx(t, "paper literal pattern",
+		FiveCycleJoinBound([5]float64{1, n, 1, n, 1}), 1, 1e-12)
+	// Case B: n1·n5·n3 < n2·n4 makes the product bound win.
+	got := FiveCycleJoinBound([5]float64{2, 1000, 2, 1000, 2})
+	// rotations: min over j of n_j·n_{j+1}·n_{j+3}: includes 2·2·2=8.
+	if got != 8 {
+		t.Errorf("case B bound = %v, want 8", got)
+	}
+}
+
+func TestRoundShares(t *testing.T) {
+	m := lollipopCQ1Model()
+	sol, err := m.Solve(750)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints := m.RoundShares(sol.Shares, 750)
+	prod := 1
+	for _, v := range ints {
+		if v < 1 {
+			t.Fatalf("integer share %d < 1", v)
+		}
+		prod *= v
+	}
+	if prod > 750 {
+		t.Errorf("rounded product %d exceeds k", prod)
+	}
+	// The optimum is integral here: exactly (1, 30, 5, 5).
+	want := []int{1, 30, 5, 5}
+	for i := range want {
+		if ints[i] != want[i] {
+			t.Errorf("rounded shares = %v, want %v", ints, want)
+			break
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	m := Model{NumVars: 2, Subgoals: []Subgoal{{Vars: []int{0, 1}, Coef: 1}}}
+	if _, err := m.Solve(0.5); err == nil {
+		t.Error("k < 1 should fail")
+	}
+	bad := Model{NumVars: 2, Subgoals: []Subgoal{{Vars: []int{0, 5}, Coef: 1}}}
+	if _, err := bad.Solve(4); err == nil {
+		t.Error("out-of-range variable should fail")
+	}
+	empty := Model{NumVars: 2}
+	if _, err := empty.Solve(4); err == nil {
+		t.Error("no subgoals should fail")
+	}
+	neg := Model{NumVars: 2, Subgoals: []Subgoal{{Vars: []int{0, 1}, Coef: -1}}}
+	if _, err := neg.Solve(4); err == nil {
+		t.Error("negative coefficient should fail")
+	}
+}
+
+// TestLagrangeOptimalityProperty: on assorted models, the solver's solution
+// satisfies the paper's "equal sums" condition for all variables with
+// share > 1, and no perturbation along random feasible directions improves
+// the cost.
+func TestLagrangeOptimalityProperty(t *testing.T) {
+	models := []Model{
+		lollipopCQ1Model(),
+		{NumVars: 3, Subgoals: []Subgoal{
+			{Vars: []int{0, 1}, Coef: 1}, {Vars: []int{1, 2}, Coef: 1}, {Vars: []int{0, 2}, Coef: 1}}},
+		{NumVars: 5, Subgoals: []Subgoal{
+			{Vars: []int{0, 1}, Coef: 2}, {Vars: []int{1, 2}, Coef: 1},
+			{Vars: []int{2, 3}, Coef: 2}, {Vars: []int{3, 4}, Coef: 1},
+			{Vars: []int{0, 4}, Coef: 1}}},
+	}
+	for mi, m := range models {
+		sol, err := m.Solve(10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := m.LagrangeSums(sol.Shares)
+		var ref float64
+		var have bool
+		for v := 0; v < m.NumVars; v++ {
+			if sol.Dominated[v] || sol.Shares[v] <= 1.01 {
+				continue
+			}
+			if !have {
+				ref, have = sums[v], true
+				continue
+			}
+			approx(t, "model lagrange", sums[v], ref, 5e-3)
+		}
+		_ = mi
+	}
+}

@@ -1,0 +1,145 @@
+package shares
+
+import (
+	"math"
+
+	"subgraphmr/internal/cq"
+)
+
+// Theorem43Case identifies which case of Theorem 4.3 a sample's
+// orientation structure matches.
+type Theorem43Case int
+
+const (
+	// Theorem43None means neither case applies.
+	Theorem43None Theorem43Case = iota
+	// Theorem43CaseA: bidirectional edges inside S1, unidirectional edges
+	// between S1 and S2; S1 nodes get twice the share of S2 nodes.
+	Theorem43CaseA
+	// Theorem43CaseB: bidirectional edges between S1 and S2,
+	// unidirectional edges inside S2; S1 nodes get twice the share of S2
+	// nodes.
+	Theorem43CaseB
+)
+
+func (c Theorem43Case) String() string {
+	switch c {
+	case Theorem43CaseA:
+		return "case (a)"
+	case Theorem43CaseB:
+		return "case (b)"
+	}
+	return "no case"
+}
+
+// Theorem43Shares applies Theorem 4.3 to a regular sample's edge-use
+// structure: if the nodes partition so that either case (a) or case (b)
+// holds, it returns the closed-form optimal share vector for k reducers —
+// doubled shares for S1, the product constrained to k — along with the
+// matched case. The degrees argument gives each node's degree (the
+// theorem requires a regular sample; callers pass sample degrees and the
+// function verifies regularity).
+func Theorem43Shares(p int, degrees []int, uses []cq.EdgeUse, k float64) ([]float64, Theorem43Case) {
+	if len(degrees) != p || p == 0 {
+		return nil, Theorem43None
+	}
+	for _, d := range degrees {
+		if d != degrees[0] {
+			return nil, Theorem43None
+		}
+	}
+	incidentBi := make([]bool, p)
+	incidentUni := make([]bool, p)
+	for _, u := range uses {
+		if u.Bidirectional() {
+			incidentBi[u.I], incidentBi[u.J] = true, true
+		} else {
+			incidentUni[u.I], incidentUni[u.J] = true, true
+		}
+	}
+
+	build := func(inS1 []bool) []float64 {
+		s1 := 0
+		for _, in := range inS1 {
+			if in {
+				s1++
+			}
+		}
+		// shares: S1 = 2z, S2 = z with (2z)^{s1}·z^{p-s1} = k.
+		z := math.Pow(k/math.Pow(2, float64(s1)), 1/float64(p))
+		out := make([]float64, p)
+		for v := range out {
+			if inS1[v] {
+				out[v] = 2 * z
+			} else {
+				out[v] = z
+			}
+		}
+		return out
+	}
+
+	// Case (a): S1 = nodes incident to a bidirectional edge. Check every
+	// bidirectional edge lies inside S1 (automatic) and every
+	// unidirectional edge connects S1 and S2.
+	inS1 := incidentBi
+	caseA := true
+	for _, u := range uses {
+		if u.Bidirectional() {
+			continue
+		}
+		if inS1[u.I] == inS1[u.J] {
+			caseA = false
+			break
+		}
+	}
+	if caseA && anyTrue(inS1) && !allTrue(inS1) {
+		return build(inS1), Theorem43CaseA
+	}
+
+	// Case (b): S2 = nodes incident to a unidirectional edge; S1 the rest.
+	// Check unidirectional edges lie inside S2 (automatic) and every
+	// bidirectional edge connects S1 and S2.
+	inS1b := make([]bool, p)
+	for v := range inS1b {
+		inS1b[v] = !incidentUni[v]
+	}
+	caseB := true
+	for _, u := range uses {
+		if !u.Bidirectional() {
+			continue
+		}
+		if inS1b[u.I] == inS1b[u.J] {
+			caseB = false
+			break
+		}
+	}
+	if caseB && anyTrue(inS1b) && !allTrue(inS1b) {
+		return build(inS1b), Theorem43CaseB
+	}
+	return nil, Theorem43None
+}
+
+func anyTrue(xs []bool) bool {
+	for _, x := range xs {
+		if x {
+			return true
+		}
+	}
+	return false
+}
+
+func allTrue(xs []bool) bool {
+	for _, x := range xs {
+		if !x {
+			return false
+		}
+	}
+	return true
+}
+
+// Convertible is the Theorem 6.1 condition: a serial O(n^α·m^β) algorithm
+// for a p-node sample graph converts to a map-reduce algorithm of the same
+// total computation when α + 2β ≥ p.
+func Convertible(alpha, beta float64, p int) bool {
+	return alpha+2*beta >= float64(p)-1e-12
+}

@@ -1,0 +1,323 @@
+// Package triangle implements the three single-round map-reduce
+// triangle-enumeration algorithms of Section 2:
+//
+//   - Partition — the algorithm of Suri & Vassilvitskii (Section 2.1):
+//     nodes are split into b groups, one reducer per 3-subset of groups,
+//     communication ≈ 3bm/2.
+//   - Multiway — the plain multiway join E(X,Y) ⋈ E(Y,Z) ⋈ E(X,Z) of
+//     Afrati & Ullman (Section 2.2): b³ reducers, communication (3b−2)m.
+//   - BucketOrdered — the paper's improvement (Section 2.3): nodes ordered
+//     by (bucket, id), one reducer per nondecreasing bucket triple
+//     (C(b+2,3) of them), communication exactly bm.
+//
+// All three enumerate every triangle exactly once; ownership filters
+// reproduce the papers' "discovered by only one reducer" arguments.
+package triangle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/mapreduce"
+)
+
+// Result is the outcome of one triangle job.
+type Result struct {
+	// Triangles lists every triangle once, as id-sorted node triples.
+	Triangles [][3]graph.Node
+	// Metrics carries the communication cost, reducer count, skew, and
+	// reducer work of the job.
+	Metrics mapreduce.Metrics
+	// Buckets is the b used.
+	Buckets int
+}
+
+// Count returns the number of triangles found.
+func (r Result) Count() int64 { return int64(len(r.Triangles)) }
+
+type triple struct{ A, B, C int }
+
+// Partition runs the Suri–Vassilvitskii Partition algorithm with b ≥ 3 node
+// groups. Each reducer R_{ijk} (i<j<k) receives the edges with both
+// endpoints in S_i ∪ S_j ∪ S_k; a triangle is emitted only by the reducer
+// whose triple is the canonical completion of the triangle's group set, so
+// the over-counting the paper describes is compensated exactly.
+func Partition(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	if b < 3 {
+		return Result{}, fmt.Errorf("triangle: Partition needs b >= 3, got %d", b)
+	}
+	h := graph.NodeHash{Seed: seed, B: b}
+	mapper := func(e graph.Edge, emit func(triple, graph.Edge)) {
+		gu, gv := h.Bucket(e.U), h.Bucket(e.V)
+		if gu == gv {
+			// C(b-1, 2) reducers: every triple containing gu.
+			for x := 0; x < b; x++ {
+				if x == gu {
+					continue
+				}
+				for y := x + 1; y < b; y++ {
+					if y == gu {
+						continue
+					}
+					emit(sortedTriple(gu, x, y), e)
+				}
+			}
+			return
+		}
+		// b-2 reducers: every triple containing both gu and gv.
+		for x := 0; x < b; x++ {
+			if x == gu || x == gv {
+				continue
+			}
+			emit(sortedTriple(gu, gv, x), e)
+		}
+	}
+	reducer := func(ctx *mapreduce.Context, key triple, edges []graph.Edge, emit func([3]graph.Node)) {
+		local := graph.SparseFromEdges(edges)
+		ctx.AddWork(trianglesInSparse(local, func(a, bb, c graph.Node) {
+			if canonicalGroupTriple(h, b, a, bb, c) == key {
+				emit([3]graph.Node{a, bb, c})
+			}
+		}))
+	}
+	tris, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
+}
+
+// canonicalGroupTriple maps a triangle to the unique reducer that owns it:
+// the sorted distinct groups of its nodes, completed to three distinct
+// values with the smallest unused group numbers.
+func canonicalGroupTriple(h graph.NodeHash, b int, a, bb, c graph.Node) triple {
+	used := map[int]bool{}
+	var d []int
+	for _, u := range []graph.Node{a, bb, c} {
+		g := h.Bucket(u)
+		if !used[g] {
+			used[g] = true
+			d = append(d, g)
+		}
+	}
+	for x := 0; len(d) < 3; x++ {
+		if !used[x] {
+			used[x] = true
+			d = append(d, x)
+		}
+		if x > b {
+			panic("triangle: cannot complete group triple")
+		}
+	}
+	return sortedTriple(d[0], d[1], d[2])
+}
+
+// roleMask marks which join roles an edge plays at a reducer.
+type roleMask uint8
+
+const (
+	roleXY roleMask = 1 << iota
+	roleYZ
+	roleXZ
+)
+
+type taggedEdge struct {
+	E     graph.Edge
+	Roles roleMask
+}
+
+// Multiway runs the Section 2.2 algorithm: the cyclic join
+// E(X,Y) ⋈ E(Y,Z) ⋈ E(X,Z) over the id-ordered edge relation, with shares
+// (b, b, b). Each edge reaches exactly 3b−2 distinct reducers (the paper's
+// footnote-1 dedup is performed, merging the coinciding role copies).
+func Multiway(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	if b < 1 {
+		return Result{}, fmt.Errorf("triangle: Multiway needs b >= 1, got %d", b)
+	}
+	h := graph.NodeHash{Seed: seed, B: b}
+	mapper := func(e graph.Edge, emit func(triple, taggedEdge)) {
+		u, v := e.U, e.V // u < v by canonical orientation
+		hu, hv := h.Bucket(u), h.Bucket(v)
+		keys := make(map[triple]roleMask, 3*b)
+		for z := 0; z < b; z++ {
+			keys[triple{hu, hv, z}] |= roleXY
+		}
+		for x := 0; x < b; x++ {
+			keys[triple{x, hu, hv}] |= roleYZ
+		}
+		for y := 0; y < b; y++ {
+			keys[triple{hu, y, hv}] |= roleXZ
+		}
+		for k, roles := range keys {
+			emit(k, taggedEdge{e, roles})
+		}
+	}
+	reducer := func(ctx *mapreduce.Context, key triple, edges []taggedEdge, emit func([3]graph.Node)) {
+		// Role-structured join: X=u, Y=v, Z=w with E(u,v) as XY, E(v,w) as
+		// YZ, E(u,w) as XZ (each pair id-ordered).
+		yzByFirst := make(map[graph.Node][]graph.Node)
+		xz := make(map[uint64]bool)
+		for _, te := range edges {
+			if te.Roles&roleYZ != 0 {
+				yzByFirst[te.E.U] = append(yzByFirst[te.E.U], te.E.V)
+			}
+			if te.Roles&roleXZ != 0 {
+				xz[te.E.Key()] = true
+			}
+		}
+		for _, te := range edges {
+			if te.Roles&roleXY == 0 {
+				continue
+			}
+			u, v := te.E.U, te.E.V
+			for _, w := range yzByFirst[v] {
+				ctx.AddWork(1)
+				if xz[(graph.Edge{U: u, V: w}).Key()] {
+					emit([3]graph.Node{u, v, w})
+				}
+			}
+		}
+	}
+	tris, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
+}
+
+// BucketOrdered runs the Section 2.3 algorithm: nodes are ordered by
+// (bucket, id); reducers are the nondecreasing bucket triples; each edge is
+// shipped to exactly b reducers; the triangle (u ≺ v ≺ w) is owned by the
+// reducer of its sorted bucket triple.
+func BucketOrdered(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	if b < 1 {
+		return Result{}, fmt.Errorf("triangle: BucketOrdered needs b >= 1, got %d", b)
+	}
+	h := graph.NodeHash{Seed: seed, B: b}
+	mapper := func(e graph.Edge, emit func(triple, graph.Edge)) {
+		i, j := h.Bucket(e.U), h.Bucket(e.V)
+		seen := make(map[triple]bool, b)
+		for w := 0; w < b; w++ {
+			k := sortedTriple(i, j, w)
+			if !seen[k] {
+				seen[k] = true
+				emit(k, e)
+			}
+		}
+	}
+	reducer := func(ctx *mapreduce.Context, key triple, edges []graph.Edge, emit func([3]graph.Node)) {
+		local := graph.SparseFromEdges(edges)
+		ctx.AddWork(trianglesInSparse(local, func(a, bb, c graph.Node) {
+			if sortedTriple(h.Bucket(a), h.Bucket(bb), h.Bucket(c)) == key {
+				emit([3]graph.Node{a, bb, c})
+			}
+		}))
+	}
+	tris, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
+}
+
+// trianglesInSparse enumerates each triangle of the local graph once
+// (emitted id-sorted) using the degree-ordered successor method — the same
+// O(m^{3/2}) serial algorithm, so reducer work stays convertible. Returns
+// the number of candidate pairs examined.
+func trianglesInSparse(s *graph.Sparse, emit func(a, b, c graph.Node)) int64 {
+	nodes := s.Nodes()
+	rank := make(map[graph.Node]int, len(nodes))
+	order := append([]graph.Node(nil), nodes...)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := s.Degree(order[i]), s.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	for pos, u := range order {
+		rank[u] = pos
+	}
+	var work int64
+	for _, v := range nodes {
+		var succ []graph.Node
+		for _, u := range s.Neighbors(v) {
+			if rank[u] > rank[v] {
+				succ = append(succ, u)
+			}
+		}
+		for i := 0; i < len(succ); i++ {
+			for j := i + 1; j < len(succ); j++ {
+				work++
+				if s.HasEdge(succ[i], succ[j]) {
+					a, bb, c := v, succ[i], succ[j]
+					if a > bb {
+						a, bb = bb, a
+					}
+					if bb > c {
+						bb, c = c, bb
+					}
+					if a > bb {
+						a, bb = bb, a
+					}
+					emit(a, bb, c)
+				}
+			}
+		}
+	}
+	return work
+}
+
+func sortedTriple(a, b, c int) triple {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return triple{a, b, c}
+}
+
+// PartitionCommPerEdge is the exact expected per-edge communication of
+// Partition: (1/b)·C(b-1,2) + ((b-1)/b)·(b-2) = 3(b-1)(b-2)/(2b).
+func PartitionCommPerEdge(b int) float64 {
+	fb := float64(b)
+	return 3 * (fb - 1) * (fb - 2) / (2 * fb)
+}
+
+// MultiwayCommPerEdge is the exact per-edge communication of the Section 2.2
+// algorithm: 3b − 2.
+func MultiwayCommPerEdge(b int) float64 { return float64(3*b - 2) }
+
+// BucketOrderedCommPerEdge is the exact per-edge communication of the
+// Section 2.3 algorithm: b.
+func BucketOrderedCommPerEdge(b int) float64 { return float64(b) }
+
+// PartitionReducers is C(b,3), the reducer count of Partition.
+func PartitionReducers(b int) int64 {
+	return int64(b) * int64(b-1) * int64(b-2) / 6
+}
+
+// MultiwayReducers is b³.
+func MultiwayReducers(b int) int64 { return int64(b) * int64(b) * int64(b) }
+
+// BucketOrderedReducers is C(b+2,3), the useful-reducer count of
+// Section 2.3 (Theorem 4.2 with p = 3).
+func BucketOrderedReducers(b int) int64 {
+	return int64(b+2) * int64(b+1) * int64(b) / 6
+}
+
+// BucketsForReducers returns the largest b whose reducer count (per the
+// given formula) does not exceed k — the Fig. 1 bucket choices b = ∛(6k)
+// for Partition and BucketOrdered, b = ∛k for Multiway.
+func BucketsForReducers(k int64, reducers func(int) int64) int {
+	b := 1
+	for reducers(b+1) <= k {
+		b++
+	}
+	return b
+}
+
+// Fig1CommPerEdge returns the asymptotic Fig. 1 communication costs per
+// edge for k reducers: Partition 3·∛(6k)/2, Multiway 3·∛k, BucketOrdered
+// ∛(6k).
+func Fig1CommPerEdge(k float64) (partition, multiway, bucketOrdered float64) {
+	c6k := math.Cbrt(6 * k)
+	return 3 * c6k / 2, 3 * math.Cbrt(k), c6k
+}

@@ -1,0 +1,257 @@
+package triangle
+
+import (
+	"math"
+	"testing"
+
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/sample"
+	"subgraphmr/internal/serial"
+)
+
+type algo struct {
+	name string
+	run  func(g *graph.Graph, b int) (Result, error)
+	minB int
+}
+
+func algos() []algo {
+	cfg := mapreduce.Config{}
+	return []algo{
+		{"partition", func(g *graph.Graph, b int) (Result, error) { return Partition(g, b, 7, cfg) }, 3},
+		{"multiway", func(g *graph.Graph, b int) (Result, error) { return Multiway(g, b, 7, cfg) }, 1},
+		{"bucketordered", func(g *graph.Graph, b int) (Result, error) { return BucketOrdered(g, b, 7, cfg) }, 1},
+	}
+}
+
+// TestAllAlgorithmsExactlyOnce: every algorithm finds exactly the serial
+// triangle set, each triangle once, across graphs and bucket counts.
+func TestAllAlgorithmsExactlyOnce(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Gnm(40, 180, 1),
+		graph.Gnm(25, 80, 2),
+		graph.CompleteGraph(12),
+		graph.PowerLaw(120, 8, 2.3, 3),
+		graph.CycleGraph(9),
+	}
+	tri := sample.Triangle()
+	for _, g := range graphs {
+		want := map[string]bool{}
+		serial.Triangles(g, func(a, b, c graph.Node) {
+			want[tri.Key([]graph.Node{a, b, c})] = true
+		})
+		for _, al := range algos() {
+			for _, b := range []int{al.minB, 4, 7} {
+				if b < al.minB {
+					continue
+				}
+				res, err := al.run(g, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := map[string]bool{}
+				for _, tr := range res.Triangles {
+					k := tri.Key([]graph.Node{tr[0], tr[1], tr[2]})
+					if got[k] {
+						t.Fatalf("%s b=%d: duplicate triangle %v", al.name, b, tr)
+					}
+					got[k] = true
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s b=%d: %d triangles, serial %d (n=%d m=%d)",
+						al.name, b, len(got), len(want), g.NumNodes(), g.NumEdges())
+				}
+				for k := range want {
+					if !got[k] {
+						t.Fatalf("%s b=%d: missing %s", al.name, b, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCommunicationExact: measured communication matches the closed forms.
+// Multiway and BucketOrdered are deterministic per edge; Partition depends
+// on how many edges have both ends in one group, computed exactly.
+func TestCommunicationExact(t *testing.T) {
+	g := graph.Gnm(60, 400, 5)
+	m := int64(g.NumEdges())
+	for _, b := range []int{3, 5, 10} {
+		res, err := Multiway(g, b, 7, mapreduce.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m * int64(3*b-2); res.Metrics.KeyValuePairs != want {
+			t.Errorf("multiway b=%d: comm %d, want %d", b, res.Metrics.KeyValuePairs, want)
+		}
+		res, err = BucketOrdered(g, b, 7, mapreduce.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m * int64(b); res.Metrics.KeyValuePairs != want {
+			t.Errorf("bucketordered b=%d: comm %d, want %d", b, res.Metrics.KeyValuePairs, want)
+		}
+
+		res, err = Partition(g, b, 7, mapreduce.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := graph.NodeHash{Seed: 7, B: b}
+		var want int64
+		for _, e := range g.Edges() {
+			if h.Bucket(e.U) == h.Bucket(e.V) {
+				want += int64((b - 1) * (b - 2) / 2)
+			} else {
+				want += int64(b - 2)
+			}
+		}
+		if res.Metrics.KeyValuePairs != want {
+			t.Errorf("partition b=%d: comm %d, want %d", b, res.Metrics.KeyValuePairs, want)
+		}
+		// The expectation formula approximates the hash-dependent exact count.
+		expect := PartitionCommPerEdge(b) * float64(m)
+		if got := float64(res.Metrics.KeyValuePairs); math.Abs(got-expect) > 0.25*expect+float64(b*b) {
+			t.Errorf("partition b=%d: comm %v far from expected %v", b, got, expect)
+		}
+	}
+}
+
+// TestReducerCounts: distinct keys never exceed the formula counts, and
+// reach them on dense graphs.
+func TestReducerCounts(t *testing.T) {
+	dense := graph.CompleteGraph(40)
+	b := 4
+	res, _ := Partition(dense, b, 7, mapreduce.Config{})
+	if res.Metrics.DistinctKeys != PartitionReducers(b) {
+		t.Errorf("partition reducers = %d, want %d", res.Metrics.DistinctKeys, PartitionReducers(b))
+	}
+	res, _ = Multiway(dense, b, 7, mapreduce.Config{})
+	if res.Metrics.DistinctKeys > MultiwayReducers(b) {
+		t.Errorf("multiway reducers = %d > %d", res.Metrics.DistinctKeys, MultiwayReducers(b))
+	}
+	res, _ = BucketOrdered(dense, b, 7, mapreduce.Config{})
+	if res.Metrics.DistinctKeys != BucketOrderedReducers(b) {
+		t.Errorf("bucketordered reducers = %d, want %d", res.Metrics.DistinctKeys, BucketOrderedReducers(b))
+	}
+}
+
+// TestFig2 reproduces the Fig. 2 table: with ~2^20 reducers Partition uses
+// b=12 at 13.75 per edge, Section 2.2 uses b=6 (2^16 reducers) at 16 per
+// edge, Section 2.3 uses b=10 at 10 per edge.
+func TestFig2(t *testing.T) {
+	if got := PartitionCommPerEdge(12); got != 13.75 {
+		t.Errorf("Partition b=12: %v per edge, want 13.75", got)
+	}
+	if got := MultiwayCommPerEdge(6); got != 16 {
+		t.Errorf("Multiway b=6: %v per edge, want 16", got)
+	}
+	if got := BucketOrderedCommPerEdge(10); got != 10 {
+		t.Errorf("BucketOrdered b=10: %v per edge, want 10", got)
+	}
+	if PartitionReducers(12) != 220 {
+		t.Errorf("C(12,3) = %d", PartitionReducers(12))
+	}
+	if MultiwayReducers(6) != 216 {
+		t.Errorf("6^3 = %d", MultiwayReducers(6))
+	}
+	if BucketOrderedReducers(10) != 220 {
+		t.Errorf("C(12,3) = %d", BucketOrderedReducers(10))
+	}
+}
+
+// TestFig1Asymptotics: at equal reducer budget, Section 2.3 beats Partition
+// by 3/2 and Section 2.2 by 3/∛6 ≈ 1.65.
+func TestFig1Asymptotics(t *testing.T) {
+	p, mw, bo := Fig1CommPerEdge(1e6)
+	if r := p / bo; math.Abs(r-1.5) > 1e-9 {
+		t.Errorf("partition/bucketordered = %v, want 1.5", r)
+	}
+	want := 3 / math.Cbrt(6)
+	if r := mw / bo; math.Abs(r-want) > 1e-9 {
+		t.Errorf("multiway/bucketordered = %v, want %v", r, want)
+	}
+}
+
+func TestBucketsForReducers(t *testing.T) {
+	if b := BucketsForReducers(1<<20, PartitionReducers); b < 12 {
+		t.Errorf("partition buckets for 2^20 = %d, want >= 12", b)
+	}
+	if b := BucketsForReducers(1<<16, MultiwayReducers); b != 40 {
+		t.Errorf("multiway buckets for 2^16 = %d, want 40 (40^3 = 64000 <= 65536)", b)
+	}
+	if b := BucketsForReducers(220, BucketOrderedReducers); b != 10 {
+		t.Errorf("bucketordered buckets for 220 = %d, want 10", b)
+	}
+}
+
+// TestConvertibility is the Section 2.3 / Theorem 6.1 claim: the total
+// reducer computation stays within a constant factor of the serial
+// algorithm's work as b grows.
+func TestConvertibility(t *testing.T) {
+	g := graph.Gnm(300, 2500, 11)
+	serialWork := serial.Triangles(g, func(_, _, _ graph.Node) {})
+	for _, b := range []int{2, 4, 8} {
+		res, err := BucketOrdered(g, b, 7, mapreduce.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(res.Metrics.ReducerWork) / float64(serialWork)
+		if ratio > 30 {
+			t.Errorf("b=%d: reducer work %d is %.1fx serial %d — not convertible",
+				b, res.Metrics.ReducerWork, ratio, serialWork)
+		}
+	}
+}
+
+// TestSkewReporting: on a heavy-tailed graph the engine reports max reducer
+// input (the "curse of the last reducer" metric).
+func TestSkewReporting(t *testing.T) {
+	g := graph.PowerLaw(300, 10, 2.1, 9)
+	res, err := BucketOrdered(g, 6, 7, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MaxReducerInput <= 0 {
+		t.Error("max reducer input not reported")
+	}
+	avg := float64(res.Metrics.KeyValuePairs) / float64(res.Metrics.DistinctKeys)
+	if float64(res.Metrics.MaxReducerInput) < avg {
+		t.Error("max reducer input below average — impossible")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.CompleteGraph(4)
+	if _, err := Partition(g, 2, 7, mapreduce.Config{}); err == nil {
+		t.Error("Partition with b=2 should fail")
+	}
+	if _, err := Multiway(g, 0, 7, mapreduce.Config{}); err == nil {
+		t.Error("Multiway with b=0 should fail")
+	}
+	if _, err := BucketOrdered(g, 0, 7, mapreduce.Config{}); err == nil {
+		t.Error("BucketOrdered with b=0 should fail")
+	}
+}
+
+// TestBucketOrderedBeatsOthersMeasured: at (approximately) equal reducer
+// budgets, measured communication orders as Fig. 2 predicts.
+func TestBucketOrderedBeatsOthersMeasured(t *testing.T) {
+	g := graph.Gnm(80, 600, 13)
+	k := int64(220)
+	bPart := BucketsForReducers(k, PartitionReducers)       // 12
+	bMulti := BucketsForReducers(k, MultiwayReducers)       // 6
+	bBucket := BucketsForReducers(k, BucketOrderedReducers) // 10
+	rp, _ := Partition(g, bPart, 7, mapreduce.Config{})
+	rm, _ := Multiway(g, bMulti, 7, mapreduce.Config{})
+	rb, _ := BucketOrdered(g, bBucket, 7, mapreduce.Config{})
+	if !(rb.Metrics.KeyValuePairs < rp.Metrics.KeyValuePairs) {
+		t.Errorf("bucketordered %d should beat partition %d",
+			rb.Metrics.KeyValuePairs, rp.Metrics.KeyValuePairs)
+	}
+	if !(rb.Metrics.KeyValuePairs < rm.Metrics.KeyValuePairs) {
+		t.Errorf("bucketordered %d should beat multiway %d",
+			rb.Metrics.KeyValuePairs, rm.Metrics.KeyValuePairs)
+	}
+}

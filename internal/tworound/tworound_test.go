@@ -1,0 +1,109 @@
+package tworound
+
+import (
+	"testing"
+
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/sample"
+	"subgraphmr/internal/serial"
+	"subgraphmr/internal/triangle"
+)
+
+func TestCascadeMatchesSerial(t *testing.T) {
+	tri := sample.Triangle()
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.Gnm(40, 160, seed)
+		want := map[string]bool{}
+		serial.Triangles(g, func(a, b, c graph.Node) {
+			want[tri.Key([]graph.Node{a, b, c})] = true
+		})
+		res := Triangles(g, mapreduce.Config{})
+		got := map[string]bool{}
+		for _, tr := range res.Triangles {
+			k := tri.Key([]graph.Node{tr[0], tr[1], tr[2]})
+			if got[k] {
+				t.Fatalf("seed %d: duplicate triangle %v", seed, tr)
+			}
+			got[k] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: cascade found %d, serial %d", seed, len(got), len(want))
+		}
+	}
+}
+
+func TestCascadeCommunicationAccounting(t *testing.T) {
+	g := graph.Gnm(50, 220, 4)
+	res := Triangles(g, mapreduce.Config{})
+	m := int64(g.NumEdges())
+	// Round 1 ships every edge twice.
+	if res.Round1.KeyValuePairs != 2*m {
+		t.Errorf("round 1 comm = %d, want %d", res.Round1.KeyValuePairs, 2*m)
+	}
+	// Round 1 outputs exactly the ordered wedges.
+	if res.Wedges != WedgeCount(g) {
+		t.Errorf("wedges = %d, want %d", res.Wedges, WedgeCount(g))
+	}
+	// Round 2 ships every wedge and every edge once.
+	if res.Round2.KeyValuePairs != res.Wedges+m {
+		t.Errorf("round 2 comm = %d, want %d", res.Round2.KeyValuePairs, res.Wedges+m)
+	}
+	if res.TotalComm() != 3*m+res.Wedges {
+		t.Errorf("total = %d, want %d", res.TotalComm(), 3*m+res.Wedges)
+	}
+}
+
+// TestCascadeLosesOnSkew demonstrates the paper's introduction claim: on a
+// skewed graph the cascade's intermediate wedge relation dwarfs the
+// one-round algorithm's communication. (A hub whose neighbors straddle the
+// node order contributes lo·hi ≈ deg²/4 ordered wedges.)
+func TestCascadeLosesOnSkew(t *testing.T) {
+	base := graph.Gnm(1200, 2000, 3)
+	b := graph.NewBuilder(1200)
+	for _, e := range base.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	hub := graph.Node(600)
+	for v := graph.Node(0); v < 1200; v++ {
+		if v != hub {
+			b.AddEdge(hub, v)
+		}
+	}
+	g := b.Graph()
+	cascade := Triangles(g, mapreduce.Config{})
+	oneRound, err := triangle.BucketOrdered(g, 10, 7, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cascade.Count() != oneRound.Count() {
+		t.Fatalf("counts differ: cascade %d, one-round %d", cascade.Count(), oneRound.Count())
+	}
+	if cascade.TotalComm() <= oneRound.Metrics.KeyValuePairs {
+		t.Errorf("expected cascade comm %d to exceed one-round comm %d on a skewed graph",
+			cascade.TotalComm(), oneRound.Metrics.KeyValuePairs)
+	}
+	t.Logf("cascade comm=%d (wedges %d) vs one-round b=10 comm=%d",
+		cascade.TotalComm(), cascade.Wedges, oneRound.Metrics.KeyValuePairs)
+}
+
+func TestWedgeCountStar(t *testing.T) {
+	// Star with hub 0: hub's neighbors are all larger ids, so ordered
+	// wedges through the hub number 0·(n-1) = 0; each leaf has one smaller
+	// neighbor... leaves have degree 1 → no wedges at all.
+	if got := WedgeCount(graph.StarGraph(10)); got != 0 {
+		t.Errorf("star ordered wedges = %d, want 0", got)
+	}
+	// Path 0-1-2: middle node 1 has one smaller (0) and one larger (2).
+	if got := WedgeCount(graph.PathGraph(3)); got != 1 {
+		t.Errorf("path wedges = %d, want 1", got)
+	}
+}
+
+func TestCascadeEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(5, nil)
+	res := Triangles(g, mapreduce.Config{})
+	if res.Count() != 0 || res.TotalComm() != 0 {
+		t.Errorf("empty graph: %+v", res)
+	}
+}
