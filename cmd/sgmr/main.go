@@ -36,7 +36,7 @@ func main() {
 		rows       = flag.Int("rows", 20, "rows for grid generator")
 		cols       = flag.Int("cols", 20, "cols for grid generator")
 		genSeed    = flag.Int64("seed", 1, "generator seed")
-		strategy   = flag.String("strategy", "bucket", "strategy: bucket, variable, cq, serial, serial-decompose, serial-degree, cascade (triangles), doulion (triangles)")
+		strategy   = flag.String("strategy", "bucket", "strategy: bucket, variable, cq, mr-decompose, serial, serial-decompose, serial-degree, cascade (triangles), doulion (triangles)")
 		k          = flag.Int("k", 1024, "target reducers (share-based strategies) / bucket budget")
 		buckets    = flag.Int("b", 0, "bucket count override for the bucket strategy")
 		cyclesCQ   = flag.Bool("cyclecqs", false, "use the Section 5 cycle CQ generator (cycle samples only)")
@@ -45,6 +45,8 @@ func main() {
 		doulionQ   = flag.Float64("q", 0.25, "edge keep probability for the doulion strategy")
 		trials     = flag.Int("trials", 8, "trials for the doulion strategy")
 		printAll   = flag.Bool("print", false, "print every instance")
+		workers    = flag.Int("workers", 0, "map worker goroutines (0 = GOMAXPROCS)")
+		partitions = flag.Int("partitions", 0, "shuffle partitions / reduce workers (0 = workers)")
 	)
 	flag.Parse()
 
@@ -84,8 +86,11 @@ func main() {
 		}
 		res := subgraphmr.TwoRoundTriangles(g)
 		fmt.Printf("strategy: two-round cascade of two-way joins (baseline)\n")
-		fmt.Printf("  round 1 comm=%d (wedges materialized: %d)\n", res.Round1.KeyValuePairs, res.Wedges)
-		fmt.Printf("  round 2 comm=%d\n", res.Round2.KeyValuePairs)
+		for _, r := range res.Chain.Rounds {
+			fmt.Printf("  round %q comm=%d reducers=%d maxload=%d\n",
+				r.Name, r.Metrics.KeyValuePairs, r.Metrics.DistinctKeys, r.Metrics.MaxReducerInput)
+		}
+		fmt.Printf("  wedges materialized: %d\n", res.Wedges)
 		fmt.Printf("  total comm=%d (%.2f/edge)\n", res.TotalComm(),
 			float64(res.TotalComm())/float64(g.NumEdges()))
 		fmt.Printf("instances found: %d\n", res.Count())
@@ -98,32 +103,45 @@ func main() {
 		fmt.Printf("strategy: doulion probabilistic counting (q=%.2f, %d trials)\n", *doulionQ, *trials)
 		fmt.Printf("estimated triangles: %.0f\n", est)
 		return
-	case "bucket", "variable", "cq":
+	case "bucket", "variable", "cq", "mr-decompose":
 		opt := subgraphmr.Options{
 			TargetReducers: *k,
 			Buckets:        *buckets,
 			UseCycleCQs:    *cyclesCQ,
 			CountOnly:      *countOnly,
 			Seed:           *hashSeed,
+			Parallelism:    *workers,
+			Partitions:     *partitions,
 		}
-		switch *strategy {
-		case "bucket":
-			opt.Strategy = subgraphmr.BucketOriented
-		case "variable":
-			opt.Strategy = subgraphmr.VariableOriented
-		case "cq":
-			opt.Strategy = subgraphmr.CQOriented
+		var res *subgraphmr.Result
+		if *strategy == "mr-decompose" {
+			res, err = subgraphmr.EnumerateDecomposed(g, s, nil, opt)
+		} else {
+			switch *strategy {
+			case "bucket":
+				opt.Strategy = subgraphmr.BucketOriented
+			case "variable":
+				opt.Strategy = subgraphmr.VariableOriented
+			case "cq":
+				opt.Strategy = subgraphmr.CQOriented
+			}
+			res, err = subgraphmr.Enumerate(g, s, opt)
 		}
-		res, err := subgraphmr.Enumerate(g, s, opt)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		instances = res.Instances
+		label := opt.Strategy.String()
+		queries := fmt.Sprintf("%d CQ(s)", res.NumCQs)
+		if *strategy == "mr-decompose" {
+			label = "mr-decompose (Theorem 6.1 conversion)"
+			queries = "no CQs (decomposition-based)"
+		}
 		if *countOnly {
-			fmt.Printf("strategy: %v (count-only), %d CQ(s), %d job(s)\n", opt.Strategy, res.NumCQs, len(res.Jobs))
+			fmt.Printf("strategy: %v (count-only), %s, %d job(s)\n", label, queries, len(res.Jobs))
 			fmt.Printf("instances counted: %d\n", res.Count)
 		} else {
-			fmt.Printf("strategy: %v, %d CQ(s), %d job(s)\n", opt.Strategy, res.NumCQs, len(res.Jobs))
+			fmt.Printf("strategy: %v, %s, %d job(s)\n", label, queries, len(res.Jobs))
 		}
 		for _, job := range res.Jobs {
 			fmt.Printf("  job %q shares=%v\n", job.Label, job.Shares)

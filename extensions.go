@@ -2,8 +2,10 @@ package subgraphmr
 
 import (
 	"subgraphmr/internal/approx"
+	"subgraphmr/internal/cycles"
 	"subgraphmr/internal/directed"
 	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/multijoin"
 	"subgraphmr/internal/tworound"
 )
 
@@ -103,4 +105,36 @@ func DoulionTriangles(g *Graph, q float64, trials int, seed int64) float64 {
 // color-coding method of the paper's related work [5].
 func ColorCodingPaths(g *Graph, p, trials int, seed int64) float64 {
 	return approx.ColorCodingPaths(g, p, trials, seed)
+}
+
+// Multiway-join cascade (Section 7.4) and orientation-class exports.
+type (
+	// JoinRelation is a binary relation of a multiway join.
+	JoinRelation = multijoin.Relation
+	// JoinTuple is one row of a JoinRelation.
+	JoinTuple = multijoin.Tuple
+	// OrientationClassCount is one cycle orientation class with its size.
+	OrientationClassCount = cycles.ClassCount
+)
+
+// NewJoinRelation builds a relation from tuples, removing duplicates.
+func NewJoinRelation(tuples []JoinTuple) *JoinRelation { return multijoin.NewRelation(tuples) }
+
+// CycleJoin evaluates the p-cycle join serially by backtracking, returning
+// the result rows and the work performed.
+func CycleJoin(rels []*JoinRelation) ([][]int64, int64) { return multijoin.CycleJoin(rels) }
+
+// CycleJoinChain evaluates the p-cycle join as an explicit cascade of
+// two-way joins — one map-reduce round per relation after the first — and
+// returns the rows plus the chain with per-round metrics, so the
+// intermediate-relation blowup the paper argues against is measurable.
+func CycleJoinChain(rels []*JoinRelation, cfg EngineConfig) ([][]int64, *Chain) {
+	return multijoin.CycleJoinChain(rels, cfg)
+}
+
+// CycleClassCountsMR computes the Section 5 orientation classes of C_p and
+// their sizes on the map-reduce engine, using a counting combiner to cut
+// the shuffled pairs down to classes × shards.
+func CycleClassCountsMR(p int, cfg EngineConfig) ([]OrientationClassCount, Metrics) {
+	return cycles.ClassCountsMR(p, cfg)
 }

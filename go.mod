@@ -1,0 +1,3 @@
+module subgraphmr
+
+go 1.24

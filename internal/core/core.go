@@ -76,8 +76,12 @@ type Options struct {
 	CountOnly bool
 	// Seed seeds the bucket hashes (jobs are deterministic given a seed).
 	Seed uint64
-	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	// Parallelism bounds map worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// Partitions is the number of shuffle partitions / reduce workers of
+	// the pipelined engine (0 = Parallelism). It affects scheduling only,
+	// never the reported Metrics.
+	Partitions int
 }
 
 func (o Options) reducers() int {
@@ -150,7 +154,7 @@ func Enumerate(g *graph.Graph, s *sample.Sample, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := mapreduce.Config{Parallelism: opt.Parallelism}
+	cfg := mapreduce.Config{Parallelism: opt.Parallelism, Partitions: opt.Partitions}
 	switch opt.Strategy {
 	case BucketOriented:
 		return bucketOriented(g, s, qs, opt, cfg)
@@ -206,7 +210,55 @@ func bucketOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, 
 	h := graph.NodeHash{Seed: opt.Seed + 0x9e3779b97f4a7c15, B: b}
 	less := graph.HashLess(h)
 
-	mapper := func(e graph.Edge, emit func(string, graph.Edge)) {
+	mapper := bucketEdgeMapper(h, p, b)
+	evals := makeEvaluators(qs)
+	var counted atomic.Int64
+	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
+		local := graph.SparseFromEdges(edges)
+		instBuckets := make([]int, p)
+		for _, ev := range evals {
+			ctx.AddWork(ev.Run(local, less, func(phi []graph.Node) {
+				for i, u := range phi {
+					instBuckets[i] = h.Bucket(u)
+				}
+				sort.Ints(instBuckets)
+				if bucketKey(instBuckets) != key {
+					return
+				}
+				if opt.CountOnly {
+					counted.Add(1)
+				} else {
+					emit(phi)
+				}
+			}))
+		}
+	}
+	instances, metrics := mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
+		Name:   fmt.Sprintf("bucket-oriented b=%d", b),
+		Map:    mapper,
+		Reduce: reducer,
+	}.Run(cfg, g.Edges())
+	job := JobStats{
+		Label:                fmt.Sprintf("bucket-oriented b=%d", b),
+		CQs:                  cqStrings(qs),
+		Shares:               uniformShares(p, b),
+		PredictedCommPerEdge: shares.BucketEdgeReplication(b, p),
+		OptimalCommPerEdge:   shares.BucketEdgeReplication(b, p),
+		Metrics:              metrics,
+	}
+	count := counted.Load()
+	if !opt.CountOnly {
+		count = int64(len(instances))
+	}
+	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}, NumCQs: len(qs)}, nil
+}
+
+// bucketEdgeMapper returns the Section 4.5 mapper: each edge is shipped to
+// the C(b+p-3, p-2) reducers whose bucket multiset contains the buckets of
+// both its endpoints. Shared by the bucket-oriented CQ strategy and the
+// Theorem 6.1 decomposition conversion.
+func bucketEdgeMapper(h graph.NodeHash, p, b int) mapreduce.Mapper[graph.Edge, string, graph.Edge] {
+	return func(e graph.Edge, emit func(string, graph.Edge)) {
 		hu, hv := h.Bucket(e.U), h.Bucket(e.V)
 		buckets := make([]int, p)
 		seen := make(map[string]bool)
@@ -231,42 +283,6 @@ func bucketOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, 
 		}
 		fill(0, 0)
 	}
-	evals := makeEvaluators(qs)
-	var counted atomic.Int64
-	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
-		local := graph.SparseFromEdges(edges)
-		instBuckets := make([]int, p)
-		for _, ev := range evals {
-			ctx.AddWork(ev.Run(local, less, func(phi []graph.Node) {
-				for i, u := range phi {
-					instBuckets[i] = h.Bucket(u)
-				}
-				sort.Ints(instBuckets)
-				if bucketKey(instBuckets) != key {
-					return
-				}
-				if opt.CountOnly {
-					counted.Add(1)
-				} else {
-					emit(phi)
-				}
-			}))
-		}
-	}
-	instances, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
-	job := JobStats{
-		Label:                fmt.Sprintf("bucket-oriented b=%d", b),
-		CQs:                  cqStrings(qs),
-		Shares:               uniformShares(p, b),
-		PredictedCommPerEdge: shares.BucketEdgeReplication(b, p),
-		OptimalCommPerEdge:   shares.BucketEdgeReplication(b, p),
-		Metrics:              metrics,
-	}
-	count := counted.Load()
-	if !opt.CountOnly {
-		count = int64(len(instances))
-	}
-	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}, NumCQs: len(qs)}, nil
 }
 
 // ownedKey builds the sorted multiset key from the p-2 completion buckets
@@ -404,7 +420,11 @@ func runShareJob(g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds [
 			}))
 		}
 	}
-	instances, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	instances, metrics := mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
+		Name:   label,
+		Map:    mapper,
+		Reduce: reducer,
+	}.Run(cfg, g.Edges())
 	fs := make([]float64, p)
 	for v, sh := range intShares {
 		fs[v] = float64(sh)

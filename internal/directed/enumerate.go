@@ -89,8 +89,11 @@ func Enumerate(g *DiGraph, pt *DiPattern, opt Options) (*Result, error) {
 			}
 		}))
 	}
-	instances, metrics := mapreduce.Run(
-		mapreduce.Config{Parallelism: opt.Parallelism}, g.Arcs(), mapper, reducer)
+	instances, metrics := mapreduce.Job[Arc, string, Arc, []graph.Node]{
+		Name:   fmt.Sprintf("directed bucket-oriented b=%d", b),
+		Map:    mapper,
+		Reduce: reducer,
+	}.Run(mapreduce.Config{Parallelism: opt.Parallelism}, g.Arcs())
 	return &Result{Instances: instances, Metrics: metrics, Buckets: b}, nil
 }
 

@@ -1,0 +1,58 @@
+package mapreduce
+
+import "fmt"
+
+// RoundStats records one executed round of a Chain.
+type RoundStats struct {
+	// Name is the round's Job.Name ("round N" when unnamed).
+	Name string
+	// Metrics is the measured cost of the round.
+	Metrics Metrics
+}
+
+// Chain executes a multi-round map-reduce job — each round's outputs feed
+// the next round's inputs — and accumulates per-round statistics, so
+// decomposition strategies that need more than one round (the cascades of
+// Section 1, the Lemma 6.1 part joins) are explicit jobs rather than
+// ad-hoc serial glue:
+//
+//	c := mapreduce.NewChain(cfg)
+//	mid := mapreduce.RunRound(c, round1Job, inputs)
+//	out := mapreduce.RunRound(c, round2Job, mid)
+//	total := c.Total()
+//
+// RunRound is a free function rather than a method because Go methods
+// cannot introduce the per-round type parameters.
+type Chain struct {
+	// Cfg is the engine configuration every round runs under.
+	Cfg Config
+	// Rounds lists the executed rounds in order.
+	Rounds []RoundStats
+}
+
+// NewChain returns a Chain whose rounds run under cfg.
+func NewChain(cfg Config) *Chain { return &Chain{Cfg: cfg} }
+
+// RunRound executes j as the chain's next round and returns its outputs.
+func RunRound[I any, K comparable, V any, O any](c *Chain, j Job[I, K, V, O], inputs []I) []O {
+	name := j.Name
+	if name == "" {
+		name = fmt.Sprintf("round %d", len(c.Rounds)+1)
+	}
+	outs, m := j.Run(c.Cfg, inputs)
+	c.Rounds = append(c.Rounds, RoundStats{Name: name, Metrics: m})
+	return outs
+}
+
+// NumRounds returns the number of rounds executed so far.
+func (c *Chain) NumRounds() int { return len(c.Rounds) }
+
+// Total sums the metrics over all executed rounds (MaxReducerInput is the
+// maximum across rounds, per Metrics.Add).
+func (c *Chain) Total() Metrics {
+	var t Metrics
+	for _, r := range c.Rounds {
+		t.Add(r.Metrics)
+	}
+	return t
+}

@@ -1,0 +1,264 @@
+package mapreduce
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// wordMapper emits (word, 1) per word of the line.
+func wordMapper(line string, emit func(string, int64)) {
+	for _, w := range strings.Fields(line) {
+		emit(w, 1)
+	}
+}
+
+func sumReducer(ctx *Context, word string, counts []int64, emit func(string)) {
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	ctx.AddWork(int64(len(counts)))
+	emit(word + ":" + strings.Repeat("x", int(sum)))
+}
+
+func corpus(n int) []string {
+	words := []string{"a", "b", "c", "dd", "ee", "f", "a", "a", "b"}
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = strings.Join(words[i%len(words):], " ")
+	}
+	return lines
+}
+
+// TestCombinerSameOutputsFewerPairs is the combiner contract: identical
+// reduced outputs, strictly fewer shipped pairs on a counting job.
+func TestCombinerSameOutputsFewerPairs(t *testing.T) {
+	inputs := corpus(200)
+	plain := Job[string, string, int64, string]{Map: wordMapper, Reduce: sumReducer}
+	combined := plain
+	combined.Combine = SumCombiner[string]
+
+	po, pm := plain.Run(Config{Parallelism: 4}, inputs)
+	co, cm := combined.Run(Config{Parallelism: 4}, inputs)
+	sort.Strings(po)
+	sort.Strings(co)
+	if len(po) != len(co) {
+		t.Fatalf("output sizes differ: %d vs %d", len(po), len(co))
+	}
+	for i := range po {
+		if po[i] != co[i] {
+			t.Fatalf("outputs differ at %d: %q vs %q", i, po[i], co[i])
+		}
+	}
+	if cm.KeyValuePairs >= pm.KeyValuePairs {
+		t.Errorf("combiner shipped %d pairs, want strictly fewer than %d",
+			cm.KeyValuePairs, pm.KeyValuePairs)
+	}
+	// 4 mappers × 6 distinct words bounds the combined communication.
+	if cm.KeyValuePairs > 4*6 {
+		t.Errorf("combined pairs = %d, want ≤ 24", cm.KeyValuePairs)
+	}
+	if cm.DistinctKeys != pm.DistinctKeys {
+		t.Errorf("distinct keys differ: %d vs %d", cm.DistinctKeys, pm.DistinctKeys)
+	}
+	if cm.Outputs != pm.Outputs {
+		t.Errorf("outputs differ: %d vs %d", cm.Outputs, pm.Outputs)
+	}
+}
+
+// TestCombinerFlushBound forces mid-shard combiner flushes and checks the
+// reducer still sees every count.
+func TestCombinerFlushBound(t *testing.T) {
+	inputs := corpus(500)
+	job := Job[string, string, int64, string]{
+		Map:     wordMapper,
+		Combine: SumCombiner[string],
+		Reduce:  sumReducer,
+	}
+	want, _ := job.Run(Config{Parallelism: 1}, inputs)
+	got, m := job.Run(Config{Parallelism: 1, CombinerBuffer: 8}, inputs)
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(want) != len(got) {
+		t.Fatalf("output sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("outputs differ at %d: %q vs %q", i, want[i], got[i])
+		}
+	}
+	if m.KeyValuePairs <= 6 {
+		t.Errorf("tiny combiner buffer should flush repeatedly, shipped only %d pairs", m.KeyValuePairs)
+	}
+}
+
+// TestCustomPartitionerRouting checks that a custom partitioner fully
+// controls key→partition routing while grouping stays correct.
+func TestCustomPartitionerRouting(t *testing.T) {
+	inputs := make([]int, 300)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	var calls atomic.Int64
+	outs, m := Job[int, int, int, [2]int]{
+		Map: func(x int, emit func(int, int)) { emit(x%7, x) },
+		Partition: func(k, p int) int {
+			calls.Add(1)
+			if p != 5 {
+				t.Errorf("partitioner saw p=%d, want 5", p)
+			}
+			return k // keys 0..6 spread over 5 partitions via modulo
+		},
+		Reduce: func(_ *Context, k int, vs []int, emit func([2]int)) {
+			emit([2]int{k, len(vs)})
+		},
+	}.Run(Config{Parallelism: 3, Partitions: 5}, inputs)
+	if calls.Load() != 300 {
+		t.Errorf("partitioner called %d times, want once per pair (300)", calls.Load())
+	}
+	if m.DistinctKeys != 7 || len(outs) != 7 {
+		t.Fatalf("got %d keys / %d outputs, want 7", m.DistinctKeys, len(outs))
+	}
+	total := 0
+	for _, o := range outs {
+		total += o[1]
+	}
+	if total != 300 {
+		t.Errorf("reducers saw %d values, want 300", total)
+	}
+}
+
+// TestSingleKey routes every pair to one reducer.
+func TestSingleKey(t *testing.T) {
+	inputs := make([]int, 1000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	outs, m := Run(Config{Parallelism: 8, Partitions: 8, BatchSize: 16}, inputs,
+		func(x int, emit func(struct{}, int)) { emit(struct{}{}, x) },
+		func(_ *Context, _ struct{}, vs []int, emit func(int)) { emit(len(vs)) },
+	)
+	if len(outs) != 1 || outs[0] != 1000 {
+		t.Fatalf("outs = %v, want [1000]", outs)
+	}
+	if m.DistinctKeys != 1 || m.MaxReducerInput != 1000 || m.KeyValuePairs != 1000 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestEmptyInputVariants covers empty and all-filtered inputs across
+// partition counts.
+func TestEmptyInputVariants(t *testing.T) {
+	for _, np := range []int{0, 1, 7} {
+		outs, m := Run(Config{Partitions: np}, []int{1, 2, 3},
+			func(int, func(int, int)) {}, // maps everything to nothing
+			func(*Context, int, []int, func(int)) {},
+		)
+		if len(outs) != 0 || m != (Metrics{}) {
+			t.Errorf("partitions=%d: filtered job produced %v, %+v", np, outs, m)
+		}
+	}
+}
+
+// TestPipelinedMatchesBarrier checks the determinism guarantee: for
+// combiner-less jobs the pipelined engine reports byte-identical metrics to
+// the original barrier engine, across worker/partition configurations.
+func TestPipelinedMatchesBarrier(t *testing.T) {
+	inputs := make([]int, 2000)
+	for i := range inputs {
+		inputs[i] = i * 31
+	}
+	mapFn := func(x int, emit func(int, int)) {
+		emit(x%129, x)
+		if x%3 == 0 {
+			emit(x%43, -x)
+		}
+	}
+	reduceFn := func(ctx *Context, k int, vs []int, emit func(int)) {
+		ctx.AddWork(int64(len(vs)))
+		sum := k
+		for _, v := range vs {
+			sum += v
+		}
+		emit(sum)
+	}
+	wantOut, wantM := RunBarrier(Config{Parallelism: 2}, inputs, mapFn, reduceFn)
+	sort.Ints(wantOut)
+	for _, cfg := range []Config{
+		{},
+		{Parallelism: 1},
+		{Parallelism: 1, Partitions: 9},
+		{Parallelism: 8, Partitions: 3, BatchSize: 7},
+	} {
+		gotOut, gotM := Run(cfg, inputs, mapFn, reduceFn)
+		sort.Ints(gotOut)
+		if gotM != wantM {
+			t.Errorf("cfg %+v: metrics = %+v, want %+v", cfg, gotM, wantM)
+		}
+		if len(gotOut) != len(wantOut) {
+			t.Fatalf("cfg %+v: %d outputs, want %d", cfg, len(gotOut), len(wantOut))
+		}
+		for i := range wantOut {
+			if gotOut[i] != wantOut[i] {
+				t.Fatalf("cfg %+v: outputs differ", cfg)
+			}
+		}
+	}
+}
+
+// TestChain runs a two-round chain (per-key sums, then sum-of-sums
+// parity) and checks per-round stats and totals.
+func TestChain(t *testing.T) {
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	c := NewChain(Config{Parallelism: 2})
+	sums := RunRound(c, Job[int, int, int, int]{
+		Name: "per-residue sums",
+		Map:  func(x int, emit func(int, int)) { emit(x%10, x) },
+		Reduce: func(_ *Context, _ int, vs []int, emit func(int)) {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+	}, inputs)
+	// Round-1 sums are 10r+450 for r = 0..9; s/500 splits them 5/5.
+	totals := RunRound(c, Job[int, bool, int, int]{
+		Map: func(s int, emit func(bool, int)) { emit(s < 500, s) },
+		Reduce: func(_ *Context, _ bool, vs []int, emit func(int)) {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+	}, sums)
+	if c.NumRounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", c.NumRounds())
+	}
+	if c.Rounds[0].Name != "per-residue sums" || c.Rounds[1].Name != "round 2" {
+		t.Errorf("round names = %q, %q", c.Rounds[0].Name, c.Rounds[1].Name)
+	}
+	grand := 0
+	for _, v := range totals {
+		grand += v
+	}
+	if grand != 99*100/2 {
+		t.Errorf("grand total = %d, want 4950", grand)
+	}
+	total := c.Total()
+	if total.KeyValuePairs != 100+10 {
+		t.Errorf("chained pairs = %d, want 110", total.KeyValuePairs)
+	}
+	if total.DistinctKeys != 10+2 {
+		t.Errorf("chained keys = %d, want 12", total.DistinctKeys)
+	}
+	if total.MaxReducerInput != c.Rounds[0].Metrics.MaxReducerInput {
+		t.Errorf("chain MaxReducerInput should be the per-round max")
+	}
+}

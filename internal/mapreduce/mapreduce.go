@@ -1,23 +1,33 @@
-// Package mapreduce is an in-process, single-round map-reduce engine with
-// explicit shuffle semantics and cost accounting. It stands in for the
-// Hadoop-style cluster the paper assumes.
+// Package mapreduce is an in-process map-reduce engine with explicit
+// shuffle semantics and cost accounting. It stands in for the Hadoop-style
+// cluster the paper assumes.
 //
 // The engine reproduces exactly the quantities the paper measures:
 //
-//   - Communication cost — the number of key-value pairs emitted by the
-//     mappers (every pair is "shipped" to the reducer owning its key).
+//   - Communication cost — the number of key-value pairs shipped from the
+//     mappers to the reducers (without a combiner, every pair emitted by a
+//     mapper counts once).
 //   - Number of reducers — the number of distinct keys (the paper's "what we
 //     are actually measuring is the number of different keys").
 //   - Computation cost — reducers report abstract work units through their
 //     context; the engine aggregates them so Section 6's convertibility
 //     claims (total reducer work = Θ(serial work)) can be tested.
 //
-// Map and reduce phases both run on a worker pool, mirroring the genuine
-// parallelism of the model while staying deterministic in all reported
-// metrics.
+// Execution is pipelined and hash-partitioned: mappers stream emitted pairs
+// into P fixed partitions through per-partition channels, and each reduce
+// worker owns one partition, building its group table concurrently with the
+// map phase. There is no global merge map and no barrier between the
+// phases, so peak memory is bounded by the largest partition rather than by
+// the total communication cost. For combiner-less jobs the reported metrics
+// are fully deterministic (they do not depend on worker count or partition
+// assignment); with a combiner, KeyValuePairs and MaxReducerInput depend on
+// the mapper shard boundaries — see the Combiner doc. The previous
+// global-barrier implementation is preserved as RunBarrier for comparison
+// benchmarks.
 package mapreduce
 
 import (
+	"hash/maphash"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,8 +35,10 @@ import (
 
 // Metrics aggregates the cost measures of one map-reduce job.
 type Metrics struct {
-	// KeyValuePairs is the communication cost: every (key, value) emitted by
-	// a mapper counts once.
+	// KeyValuePairs is the communication cost: every (key, value) shipped
+	// from a mapper to a reducer counts once. Without a combiner this equals
+	// the number of pairs the mappers emitted; with a combiner it is the
+	// (smaller) post-combine count.
 	KeyValuePairs int64
 	// DistinctKeys is the number of reducers that receive at least one pair.
 	DistinctKeys int64
@@ -64,11 +76,47 @@ type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
 // Reducer consumes all values grouped under one key.
 type Reducer[K comparable, V any, O any] func(ctx *Context, key K, values []V, emit func(O))
 
+// Combiner performs pre-shuffle aggregation on a mapper's local pairs: it
+// receives every value the mapper has buffered under one key and returns
+// the (ideally shorter) list of values actually shipped. A combiner must be
+// semantically idempotent with respect to the reducer — the reducer may see
+// combined values from several mappers (or several flushes of one mapper)
+// mixed together. Typical use is counting: values are partial counts, the
+// combiner returns their one-element sum, and the reducer sums again.
+type Combiner[K comparable, V any] func(key K, values []V) []V
+
+// SumCombiner is the counting combiner: it collapses a key's buffered
+// partial counts into their one-element sum.
+func SumCombiner[K comparable](_ K, values []int64) []int64 {
+	var sum int64
+	for _, v := range values {
+		sum += v
+	}
+	return []int64{sum}
+}
+
+// Partitioner maps a key to one of p partitions (reduce workers). All pairs
+// of one key must land in the same partition, which the engine guarantees
+// by calling the partitioner exactly once per shipped pair with the same p.
+// The returned index is reduced modulo p, so any deterministic function of
+// the key is a valid partitioner.
+type Partitioner[K comparable] func(key K, p int) int
+
 // Config controls engine execution.
 type Config struct {
-	// Parallelism is the number of worker goroutines per phase;
+	// Parallelism is the number of map worker goroutines;
 	// 0 means GOMAXPROCS.
 	Parallelism int
+	// Partitions is the number of shuffle partitions, each owned by one
+	// reduce worker goroutine; 0 means Parallelism.
+	Partitions int
+	// BatchSize is the number of pairs a mapper buffers per partition
+	// before shipping them as one batch; 0 means 256.
+	BatchSize int
+	// CombinerBuffer bounds the number of values a mapper holds back for
+	// combining before it must combine-and-ship; 0 means 1<<15. Only used
+	// when the job has a combiner.
+	CombinerBuffer int
 }
 
 func (c Config) workers() int {
@@ -78,120 +126,220 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes one map-reduce round: mapFn is applied to every input, the
-// emitted pairs are shuffled (grouped by key), and reduceFn is applied to
-// each group. It returns the reducer outputs (in no particular order) and
-// the job metrics.
-func Run[I any, K comparable, V any, O any](
-	cfg Config,
-	inputs []I,
-	mapFn Mapper[I, K, V],
-	reduceFn Reducer[K, V, O],
-) ([]O, Metrics) {
-	nw := cfg.workers()
-	if nw > len(inputs) && len(inputs) > 0 {
-		nw = len(inputs)
+func (c Config) partitions() int {
+	if c.Partitions > 0 {
+		return c.Partitions
 	}
-	if nw < 1 {
-		nw = 1
+	return c.workers()
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 256
+}
+
+func (c Config) combinerBuffer() int {
+	if c.CombinerBuffer > 0 {
+		return c.CombinerBuffer
+	}
+	return 1 << 15
+}
+
+// Job is one map-reduce round. Map and Reduce are required; Combine and
+// Partition are optional (no combining, hash partitioning). Name labels the
+// round in Chain statistics.
+type Job[I any, K comparable, V any, O any] struct {
+	Name      string
+	Map       Mapper[I, K, V]
+	Combine   Combiner[K, V]
+	Partition Partitioner[K]
+	Reduce    Reducer[K, V, O]
+}
+
+// pair is one shuffled key-value pair.
+type pair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Run executes the job: Map is applied to every input, emitted pairs are
+// hash-partitioned and streamed to the reduce workers (combined first when
+// a Combiner is set), and Reduce is applied to each key group. It returns
+// the reducer outputs (in no particular order) and the job metrics.
+func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
+	nm := cfg.workers()
+	if nm > len(inputs) && len(inputs) > 0 {
+		nm = len(inputs)
+	}
+	if nm < 1 {
+		nm = 1
+	}
+	np := cfg.partitions()
+	if np < 1 {
+		np = 1
 	}
 
-	// Map phase: each worker owns a contiguous shard of the inputs and
-	// builds a private partial shuffle (key → values).
-	partials := make([]map[K][]V, nw)
-	pairCounts := make([]int64, nw)
-	var wg sync.WaitGroup
-	chunk := (len(inputs) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
+	partition := j.Partition
+	if partition == nil {
+		seed := maphash.MakeSeed()
+		partition = func(k K, p int) int {
+			return int(maphash.Comparable(seed, k) % uint64(p))
+		}
+	}
+
+	chans := make([]chan []pair[K, V], np)
+	for p := range chans {
+		chans[p] = make(chan []pair[K, V], 2*nm)
+	}
+
+	// Reduce workers: each owns one partition, grouping batches as they
+	// arrive (concurrently with mapping) and reducing once its channel
+	// closes.
+	var (
+		rwg      sync.WaitGroup
+		distinct = make([]int64, np)
+		maxIn    = make([]int64, np)
+		works    = make([]int64, np)
+		outs     = make([][]O, np)
+	)
+	for p := 0; p < np; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			groups := make(map[K][]V)
+			for batch := range chans[p] {
+				for _, kv := range batch {
+					groups[kv.key] = append(groups[kv.key], kv.val)
+				}
+			}
+			distinct[p] = int64(len(groups))
+			ctx := &Context{}
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			for k, vs := range groups {
+				if n := int64(len(vs)); n > maxIn[p] {
+					maxIn[p] = n
+				}
+				j.Reduce(ctx, k, vs, emit)
+			}
+			works[p] = ctx.work
+			outs[p] = out
+		}(p)
+	}
+
+	// Map workers: each owns a contiguous shard of the inputs and streams
+	// batches into the partition channels.
+	shipped := make([]int64, nm)
+	var mwg sync.WaitGroup
+	chunk := (len(inputs) + nm - 1) / nm
+	if chunk < 1 {
+		chunk = 1
+	}
+	for w := 0; w < nm; w++ {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > len(inputs) {
 			hi = len(inputs)
 		}
 		if lo >= hi {
-			partials[w] = map[K][]V{}
 			continue
 		}
-		wg.Add(1)
+		mwg.Add(1)
 		go func(w, lo, hi int) {
-			defer wg.Done()
-			local := make(map[K][]V)
-			var pairs int64
-			emit := func(k K, v V) {
-				local[k] = append(local[k], v)
-				pairs++
+			defer mwg.Done()
+			batch := cfg.batchSize()
+			bufs := make([][]pair[K, V], np)
+			ship := func(k K, v V) {
+				p := partition(k, np) % np
+				if p < 0 {
+					p += np
+				}
+				if bufs[p] == nil {
+					bufs[p] = make([]pair[K, V], 0, batch)
+				}
+				bufs[p] = append(bufs[p], pair[K, V]{k, v})
+				shipped[w]++
+				if len(bufs[p]) >= batch {
+					chans[p] <- bufs[p]
+					bufs[p] = nil
+				}
 			}
+
+			var emit func(K, V)
+			var flushCombined func()
+			if j.Combine == nil {
+				emit = ship
+			} else {
+				held := make(map[K][]V)
+				heldValues := 0
+				limit := cfg.combinerBuffer()
+				flushCombined = func() {
+					for k, vs := range held {
+						for _, v := range j.Combine(k, vs) {
+							ship(k, v)
+						}
+					}
+					clear(held)
+					heldValues = 0
+				}
+				emit = func(k K, v V) {
+					held[k] = append(held[k], v)
+					heldValues++
+					if heldValues >= limit {
+						flushCombined()
+					}
+				}
+			}
+
 			for i := lo; i < hi; i++ {
-				mapFn(inputs[i], emit)
+				j.Map(inputs[i], emit)
 			}
-			partials[w] = local
-			pairCounts[w] = pairs
+			if flushCombined != nil {
+				flushCombined()
+			}
+			for p, buf := range bufs {
+				if len(buf) > 0 {
+					chans[p] <- buf
+				}
+			}
 		}(w, lo, hi)
 	}
-	wg.Wait()
+	mwg.Wait()
+	for p := range chans {
+		close(chans[p])
+	}
+	rwg.Wait()
 
-	// Shuffle: merge the partial groupings.
-	groups := make(map[K][]V)
 	var metrics Metrics
-	for w := 0; w < nw; w++ {
-		metrics.KeyValuePairs += pairCounts[w]
-		for k, vs := range partials[w] {
-			groups[k] = append(groups[k], vs...)
-		}
-		partials[w] = nil
-	}
-	metrics.DistinctKeys = int64(len(groups))
-
-	// Reduce phase: distribute keys over workers.
-	keys := make([]K, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-		if n := int64(len(groups[k])); n > metrics.MaxReducerInput {
-			metrics.MaxReducerInput = n
-		}
-	}
-	rw := cfg.workers()
-	if rw > len(keys) && len(keys) > 0 {
-		rw = len(keys)
-	}
-	if rw < 1 {
-		rw = 1
-	}
-	outs := make([][]O, rw)
-	works := make([]int64, rw)
-	kchunk := (len(keys) + rw - 1) / rw
-	for w := 0; w < rw; w++ {
-		lo := w * kchunk
-		hi := lo + kchunk
-		if hi > len(keys) {
-			hi = len(keys)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var out []O
-			ctx := &Context{}
-			emit := func(o O) { out = append(out, o) }
-			for i := lo; i < hi; i++ {
-				k := keys[i]
-				reduceFn(ctx, k, groups[k], emit)
-			}
-			outs[w] = out
-			works[w] = ctx.work
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
 	var result []O
-	for w := 0; w < rw; w++ {
-		result = append(result, outs[w]...)
-		metrics.ReducerWork += works[w]
+	for w := 0; w < nm; w++ {
+		metrics.KeyValuePairs += shipped[w]
+	}
+	for p := 0; p < np; p++ {
+		metrics.DistinctKeys += distinct[p]
+		if maxIn[p] > metrics.MaxReducerInput {
+			metrics.MaxReducerInput = maxIn[p]
+		}
+		metrics.ReducerWork += works[p]
+		result = append(result, outs[p]...)
 	}
 	metrics.Outputs = int64(len(result))
 	return result, metrics
+}
+
+// Run executes one combiner-less map-reduce round on the pipelined engine:
+// mapFn is applied to every input, the emitted pairs are shuffled (grouped
+// by key), and reduceFn is applied to each group. It returns the reducer
+// outputs (in no particular order) and the job metrics.
+func Run[I any, K comparable, V any, O any](
+	cfg Config,
+	inputs []I,
+	mapFn Mapper[I, K, V],
+	reduceFn Reducer[K, V, O],
+) ([]O, Metrics) {
+	return Job[I, K, V, O]{Map: mapFn, Reduce: reduceFn}.Run(cfg, inputs)
 }
 
 // ReducerLoads runs only the map phase and returns the sorted list of

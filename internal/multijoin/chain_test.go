@@ -1,0 +1,87 @@
+package multijoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraphmr/internal/mapreduce"
+)
+
+func randomRelations(p, n int, domain int64, seed int64) []*Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rels := make([]*Relation, p)
+	for i := range rels {
+		tuples := make([]Tuple, n)
+		for j := range tuples {
+			tuples[j] = Tuple{rng.Int63n(domain), rng.Int63n(domain)}
+		}
+		rels[i] = NewRelation(tuples)
+	}
+	return rels
+}
+
+func sameRows(t *testing.T, got, want [][]int64) {
+	t.Helper()
+	SortRows(got)
+	SortRows(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if RowKey(got[i]) != RowKey(want[i]) {
+			t.Fatalf("row %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCycleJoinChainMatchesSerial checks the cascade against the serial
+// backtracking join on random instances of several cycle lengths.
+func TestCycleJoinChainMatchesSerial(t *testing.T) {
+	for _, p := range []int{3, 4, 5, 6} {
+		rels := randomRelations(p, 120, 15, int64(p))
+		want, _ := CycleJoin(rels)
+		got, chain := CycleJoinChain(rels, mapreduce.Config{Parallelism: 4})
+		sameRows(t, got, want)
+		if chain.NumRounds() != p-1 {
+			t.Errorf("p=%d: %d rounds, want %d", p, chain.NumRounds(), p-1)
+		}
+		total := chain.Total()
+		if total.KeyValuePairs == 0 || total.Outputs < int64(len(want)) {
+			t.Errorf("p=%d: implausible chain metrics %+v", p, total)
+		}
+	}
+}
+
+// TestCycleJoinChainWorstCases exercises the paper's extremal instances.
+func TestCycleJoinChainWorstCases(t *testing.T) {
+	relsA := WorstCaseA(3)
+	wantA, _ := CycleJoin(relsA)
+	gotA, _ := CycleJoinChain(relsA, mapreduce.Config{})
+	sameRows(t, gotA, wantA)
+	if len(gotA) != 3*3*3*3*3 {
+		t.Errorf("case A output = %d, want d^5 = 243", len(gotA))
+	}
+
+	relsB := WorstCaseB(4, 3, 5, 7)
+	wantB, _ := CycleJoin(relsB)
+	gotB, _ := CycleJoinChain(relsB, mapreduce.Config{})
+	sameRows(t, gotB, wantB)
+}
+
+// TestCycleJoinChainMaterializesIntermediates confirms the cascade ships
+// the intermediate relation the one-round algorithms avoid: round metrics
+// include the partial paths, not just the base relations.
+func TestCycleJoinChainMaterializesIntermediates(t *testing.T) {
+	rels := WorstCaseA(3) // every round's join is a full d×d grid
+	_, chain := CycleJoinChain(rels, mapreduce.Config{})
+	r0 := chain.Rounds[0].Metrics
+	// Round 1 ships the 9 R1-paths plus the 9 R2-tuples.
+	if r0.KeyValuePairs != 18 {
+		t.Errorf("round 1 shipped %d pairs, want 18", r0.KeyValuePairs)
+	}
+	// Later rounds ship d^(i+1) paths + d² tuples; round 3 ships 81+9.
+	r2 := chain.Rounds[2].Metrics
+	if r2.KeyValuePairs != 81+9 {
+		t.Errorf("round 3 shipped %d pairs, want 90", r2.KeyValuePairs)
+	}
+}

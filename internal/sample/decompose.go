@@ -1,6 +1,9 @@
 package sample
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PartKind labels a piece of a sample-graph decomposition in the sense of
 // Theorem 7.2: isolated nodes, pairs of nodes connected by an edge, and
@@ -163,4 +166,29 @@ func maskToVars(mask int) []int {
 		mask &^= 1 << v
 	}
 	return vars
+}
+
+// ValidateParts checks that parts is a legal Theorem 7.2 decomposition of
+// s: the parts' variables partition the sample nodes exactly, and every
+// odd-Hamiltonian part has odd size ≥ 3. It is shared by the serial
+// decomposition algorithm and its map-reduce conversion.
+func (s *Sample) ValidateParts(parts []Part) error {
+	covered := make([]bool, s.P())
+	for _, part := range parts {
+		if part.Kind == OddHamiltonian && (len(part.Vars)%2 == 0 || len(part.Vars) < 3) {
+			return fmt.Errorf("sample: odd-Hamiltonian part has even or too-small size %d", len(part.Vars))
+		}
+		for _, v := range part.Vars {
+			if v < 0 || v >= s.P() || covered[v] {
+				return fmt.Errorf("sample: decomposition does not partition the sample nodes")
+			}
+			covered[v] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			return fmt.Errorf("sample: sample node %d not covered by decomposition", v)
+		}
+	}
+	return nil
 }

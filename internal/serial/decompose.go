@@ -21,19 +21,8 @@ func EnumerateByDecomposition(g *graph.Graph, s *sample.Sample, parts []sample.P
 	if parts == nil {
 		parts, _ = s.Decompose()
 	}
-	covered := make([]bool, s.P())
-	for _, part := range parts {
-		for _, v := range part.Vars {
-			if v < 0 || v >= s.P() || covered[v] {
-				return nil, 0, fmt.Errorf("serial: decomposition does not partition the sample nodes")
-			}
-			covered[v] = true
-		}
-	}
-	for v, ok := range covered {
-		if !ok {
-			return nil, 0, fmt.Errorf("serial: sample node %d not covered by decomposition", v)
-		}
+	if err := s.ValidateParts(parts); err != nil {
+		return nil, 0, fmt.Errorf("serial: %w", err)
 	}
 
 	var work int64

@@ -82,7 +82,11 @@ func Partition(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result
 			}
 		}))
 	}
-	tris, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	tris, metrics := mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
+		Name:   fmt.Sprintf("partition b=%d", b),
+		Map:    mapper,
+		Reduce: reducer,
+	}.Run(cfg, g.Edges())
 	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
 }
 
@@ -177,7 +181,11 @@ func Multiway(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result,
 			}
 		}
 	}
-	tris, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	tris, metrics := mapreduce.Job[graph.Edge, triple, taggedEdge, [3]graph.Node]{
+		Name:   fmt.Sprintf("multiway shares=(%d,%d,%d)", b, b, b),
+		Map:    mapper,
+		Reduce: reducer,
+	}.Run(cfg, g.Edges())
 	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
 }
 
@@ -209,7 +217,11 @@ func BucketOrdered(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Re
 			}
 		}))
 	}
-	tris, metrics := mapreduce.Run(cfg, g.Edges(), mapper, reducer)
+	tris, metrics := mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
+		Name:   fmt.Sprintf("bucket-ordered b=%d", b),
+		Map:    mapper,
+		Reduce: reducer,
+	}.Run(cfg, g.Edges())
 	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
 }
 

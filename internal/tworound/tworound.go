@@ -22,6 +22,9 @@ type Result struct {
 	Round2 mapreduce.Metrics
 	// Wedges is the size of the intermediate relation shipped to round 2.
 	Wedges int64
+	// Chain holds the executed rounds (same metrics as Round1/Round2, in
+	// the engine's multi-round form).
+	Chain *mapreduce.Chain
 }
 
 // Count returns the number of triangles found.
@@ -42,20 +45,23 @@ type edgeOrWedge struct {
 }
 
 // Triangles enumerates every triangle exactly once (as X < Y < Z with the
-// natural node order) using two map-reduce rounds.
+// natural node order) as an explicit two-round chain.
 func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
+	c := mapreduce.NewChain(cfg)
+
 	// Round 1: key by the shared variable Y. An edge (a, b) with a < b
 	// plays role E(X,Y) under key b and role E(Y,Z) under key a.
 	type role struct {
 		Other graph.Node
 		Left  bool // true: contributes X to E(X,Y); false: contributes Z
 	}
-	wedges, m1 := mapreduce.Run(cfg, g.Edges(),
-		func(e graph.Edge, emit func(graph.Node, role)) {
+	wedges := mapreduce.RunRound(c, mapreduce.Job[graph.Edge, graph.Node, role, wedge]{
+		Name: "wedge join E(X,Y) ⋈ E(Y,Z)",
+		Map: func(e graph.Edge, emit func(graph.Node, role)) {
 			emit(e.V, role{Other: e.U, Left: true})  // X = U, Y = V
 			emit(e.U, role{Other: e.V, Left: false}) // Y = U, Z = V
 		},
-		func(ctx *mapreduce.Context, y graph.Node, roles []role, emit func(wedge)) {
+		Reduce: func(ctx *mapreduce.Context, y graph.Node, roles []role, emit func(wedge)) {
 			var lefts, rights []graph.Node
 			for _, r := range roles {
 				if r.Left {
@@ -70,7 +76,8 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 					emit(wedge{x, y, z})
 				}
 			}
-		})
+		},
+	}, g.Edges())
 
 	// Round 2: join the wedges with E(X,Z), keyed by the (X,Z) edge.
 	type kv = uint64
@@ -81,8 +88,9 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 	for _, e := range g.Edges() {
 		inputs = append(inputs, e)
 	}
-	tris, m2 := mapreduce.Run(cfg, inputs,
-		func(in any, emit func(kv, edgeOrWedge)) {
+	tris := mapreduce.RunRound(c, mapreduce.Job[any, kv, edgeOrWedge, [3]graph.Node]{
+		Name: "close wedges against E(X,Z)",
+		Map: func(in any, emit func(kv, edgeOrWedge)) {
 			switch v := in.(type) {
 			case wedge:
 				emit((graph.Edge{U: v.X, V: v.Z}).Key(), edgeOrWedge{Y: v.Y})
@@ -90,7 +98,7 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 				emit(v.Key(), edgeOrWedge{IsEdge: true})
 			}
 		},
-		func(ctx *mapreduce.Context, key kv, values []edgeOrWedge, emit func([3]graph.Node)) {
+		Reduce: func(ctx *mapreduce.Context, key kv, values []edgeOrWedge, emit func([3]graph.Node)) {
 			hasEdge := false
 			for _, v := range values {
 				if v.IsEdge {
@@ -109,8 +117,16 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 					emit([3]graph.Node{x, v.Y, z})
 				}
 			}
-		})
-	return Result{Triangles: tris, Round1: m1, Round2: m2, Wedges: int64(len(wedges))}
+		},
+	}, inputs)
+
+	return Result{
+		Triangles: tris,
+		Round1:    c.Rounds[0].Metrics,
+		Round2:    c.Rounds[1].Metrics,
+		Wedges:    int64(len(wedges)),
+		Chain:     c,
+	}
 }
 
 // WedgeCount returns the exact number of ordered wedges Σ over middles of

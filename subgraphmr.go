@@ -19,6 +19,9 @@
 //   - The analysis toolkit (CQsFor, MergedCQsFor, CycleCQs, OptimizeShares)
 //     exposes the CQ generation of Sections 3 and 5 and the share
 //     optimization of Section 4 for planning without running a job.
+//   - The pipelined engine itself is programmable: build custom rounds
+//     with MapReduceJob (optional combiner and partitioner) and compose
+//     multi-round jobs with NewChain/RunRound; see docs/ARCHITECTURE.md.
 //
 // Every enumeration method produces each instance exactly once; instances
 // are reported as assignments of data nodes to sample variables.
@@ -57,6 +60,16 @@ type (
 	CycleCQ = cycles.CycleCQ
 	// Metrics carries the measured costs of a map-reduce job.
 	Metrics = mapreduce.Metrics
+	// EngineConfig controls the pipelined map-reduce engine (map workers,
+	// shuffle partitions, batch sizes).
+	EngineConfig = mapreduce.Config
+	// ReduceContext is handed to reducers for reporting abstract work.
+	ReduceContext = mapreduce.Context
+	// Chain executes a multi-round map-reduce job and accumulates per-round
+	// metrics; run rounds with RunRound.
+	Chain = mapreduce.Chain
+	// RoundStats records one executed round of a Chain.
+	RoundStats = mapreduce.RoundStats
 	// Options configures Enumerate.
 	Options = core.Options
 	// Strategy selects the Section 4 processing strategy.
@@ -89,10 +102,32 @@ const (
 	VariableOriented = core.VariableOriented
 )
 
+// MapReduceJob is one round of the pipelined engine: Map and Reduce are
+// required; Combine (pre-shuffle aggregation) and Partition (key routing)
+// are optional. Run it directly or as a Chain round via RunRound.
+type MapReduceJob[I any, K comparable, V any, O any] = mapreduce.Job[I, K, V, O]
+
+// NewChain returns a Chain whose rounds run under cfg.
+func NewChain(cfg EngineConfig) *Chain { return mapreduce.NewChain(cfg) }
+
+// RunRound executes j as the chain's next round and returns its outputs.
+func RunRound[I any, K comparable, V any, O any](c *Chain, j MapReduceJob[I, K, V, O], inputs []I) []O {
+	return mapreduce.RunRound(c, j, inputs)
+}
+
 // Enumerate finds every instance of s in g exactly once using single-round
 // map-reduce jobs (see Options for strategy, reducer budget and seeds).
 func Enumerate(g *Graph, s *Sample, opt Options) (*Result, error) {
 	return core.Enumerate(g, s, opt)
+}
+
+// EnumerateDecomposed runs the Theorem 6.1 conversion of the serial
+// decomposition algorithm as one map-reduce round: every reducer runs the
+// Theorem 7.2 algorithm on its bucket-local fragment and keeps only the
+// instances whose bucket multiset it owns. Pass nil parts to use the
+// optimal decomposition.
+func EnumerateDecomposed(g *Graph, s *Sample, parts []DecompositionPart, opt Options) (*Result, error) {
+	return core.EnumerateDecomposed(g, s, parts, opt)
 }
 
 // NewGraphBuilder returns a builder for a data graph with n nodes.
