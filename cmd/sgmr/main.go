@@ -5,104 +5,142 @@
 //
 //	sgmr -sample triangle -gen gnm -n 1000 -m 5000 [-strategy bucket] [-k 1024]
 //	sgmr -sample lollipop -data graph.txt -strategy variable -k 500 -print
+//	sgmr -sample square -gen powerlaw -n 100000 -mem-budget 268435456
 //
 // The data graph comes from -data (edge-list file; "-" for stdin) or from
 // a generator (-gen gnm|gnp|powerlaw|cycle|complete|grid|tree with -n, -m,
 // -p, -delta, -depth, -seed). Statistics (communication cost, reducers,
 // skew, reducer work) are always printed; -print also lists instances.
+// -mem-budget bounds the reduce workers' memory: above it the engine
+// spills sorted runs to disk and merge-streams them into the reducers.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"subgraphmr"
 )
 
+// errUsage signals a flag-parse failure the FlagSet already reported, so
+// main exits without printing it a second time.
+var errUsage = errors.New("usage")
+
 func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // -h/-help: usage printed, success
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "sgmr: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one sgmr invocation, writing all reporting to out. It is
+// main minus the process plumbing, so tests can drive every strategy flag
+// in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sgmr", flag.ContinueOnError)
 	var (
-		sampleName = flag.String("sample", "triangle", "sample graph: triangle, square, lollipop, c3..c12, k2..k8, path2..8, star2..8, q3")
-		dataFile   = flag.String("data", "", "data graph edge-list file (\"-\" for stdin); overrides -gen")
-		gen        = flag.String("gen", "gnm", "generator: gnm, gnp, powerlaw, cycle, complete, grid, tree")
-		n          = flag.Int("n", 300, "nodes for generators")
-		m          = flag.Int("m", 1500, "edges for gnm")
-		prob       = flag.Float64("p", 0.05, "edge probability for gnp / power-law exponent offset")
-		avgDeg     = flag.Float64("avgdeg", 8, "average degree for powerlaw")
-		exponent   = flag.Float64("exponent", 2.3, "power-law exponent")
-		delta      = flag.Int("delta", 4, "degree for tree generator")
-		depth      = flag.Int("depth", 5, "depth for tree generator")
-		rows       = flag.Int("rows", 20, "rows for grid generator")
-		cols       = flag.Int("cols", 20, "cols for grid generator")
-		genSeed    = flag.Int64("seed", 1, "generator seed")
-		strategy   = flag.String("strategy", "bucket", "strategy: bucket, variable, cq, mr-decompose, serial, serial-decompose, serial-degree, cascade (triangles), doulion (triangles)")
-		k          = flag.Int("k", 1024, "target reducers (share-based strategies) / bucket budget")
-		buckets    = flag.Int("b", 0, "bucket count override for the bucket strategy")
-		cyclesCQ   = flag.Bool("cyclecqs", false, "use the Section 5 cycle CQ generator (cycle samples only)")
-		countOnly  = flag.Bool("count", false, "count instances without materializing them")
-		hashSeed   = flag.Uint64("hashseed", 7, "bucket hash seed")
-		doulionQ   = flag.Float64("q", 0.25, "edge keep probability for the doulion strategy")
-		trials     = flag.Int("trials", 8, "trials for the doulion strategy")
-		printAll   = flag.Bool("print", false, "print every instance")
-		workers    = flag.Int("workers", 0, "map worker goroutines (0 = GOMAXPROCS)")
-		partitions = flag.Int("partitions", 0, "shuffle partitions / reduce workers (0 = workers)")
+		sampleName = fs.String("sample", "triangle", "sample graph: triangle, square, lollipop, c3..c12, k2..k8, path2..8, star2..8, q3")
+		dataFile   = fs.String("data", "", "data graph edge-list file (\"-\" for stdin); overrides -gen")
+		gen        = fs.String("gen", "gnm", "generator: gnm, gnp, powerlaw, cycle, complete, grid, tree")
+		n          = fs.Int("n", 300, "nodes for generators")
+		m          = fs.Int("m", 1500, "edges for gnm")
+		prob       = fs.Float64("p", 0.05, "edge probability for gnp / power-law exponent offset")
+		avgDeg     = fs.Float64("avgdeg", 8, "average degree for powerlaw")
+		exponent   = fs.Float64("exponent", 2.3, "power-law exponent")
+		delta      = fs.Int("delta", 4, "degree for tree generator")
+		depth      = fs.Int("depth", 5, "depth for tree generator")
+		rows       = fs.Int("rows", 20, "rows for grid generator")
+		cols       = fs.Int("cols", 20, "cols for grid generator")
+		genSeed    = fs.Int64("seed", 1, "generator seed")
+		strategy   = fs.String("strategy", "bucket", "strategy: bucket, variable, cq, mr-decompose, serial, serial-decompose, serial-degree, cascade (triangles), doulion (triangles)")
+		k          = fs.Int("k", 1024, "target reducers (share-based strategies) / bucket budget")
+		buckets    = fs.Int("b", 0, "bucket count override for the bucket strategy")
+		cyclesCQ   = fs.Bool("cyclecqs", false, "use the Section 5 cycle CQ generator (cycle samples only)")
+		countOnly  = fs.Bool("count", false, "count instances without materializing them")
+		hashSeed   = fs.Uint64("hashseed", 7, "bucket hash seed")
+		doulionQ   = fs.Float64("q", 0.25, "edge keep probability for the doulion strategy")
+		trials     = fs.Int("trials", 8, "trials for the doulion strategy")
+		printAll   = fs.Bool("print", false, "print every instance")
+		workers    = fs.Int("workers", 0, "map worker goroutines (0 = GOMAXPROCS)")
+		partitions = fs.Int("partitions", 0, "shuffle partitions / reduce workers (0 = workers)")
+		memBudget  = fs.Int64("mem-budget", 0, "reduce-memory budget in bytes; exceeding it spills sorted runs to disk (0 = unlimited)")
+		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
 
 	s := subgraphmr.NamedSample(*sampleName)
 	if s == nil {
-		fatalf("unknown sample %q", *sampleName)
+		return fmt.Errorf("unknown sample %q", *sampleName)
 	}
 	g, err := loadGraph(*dataFile, *gen, *n, *m, *prob, *avgDeg, *exponent, *delta, *depth, *rows, *cols, *genSeed)
 	if err != nil {
-		fatalf("loading data graph: %v", err)
+		return fmt.Errorf("loading data graph: %w", err)
 	}
-	fmt.Printf("data graph: n=%d m=%d maxdeg=%d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
-	fmt.Printf("sample: %v (p=%d, |Aut|=%d)\n", s, s.P(), len(s.Automorphisms()))
+	fmt.Fprintf(out, "data graph: n=%d m=%d maxdeg=%d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
+	fmt.Fprintf(out, "sample: %v (p=%d, |Aut|=%d)\n", s, s.P(), len(s.Automorphisms()))
 
 	var instances [][]subgraphmr.Node
 	switch *strategy {
 	case "serial":
 		instances = subgraphmr.BruteForce(g, s)
-		fmt.Printf("strategy: serial brute force\n")
+		fmt.Fprintf(out, "strategy: serial brute force\n")
 	case "serial-decompose":
 		var work int64
 		instances, work, err = subgraphmr.EnumerateByDecomposition(g, s, nil)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("strategy: serial decomposition (Theorem 7.2), work=%d\n", work)
+		fmt.Fprintf(out, "strategy: serial decomposition (Theorem 7.2), work=%d\n", work)
 	case "serial-degree":
 		var work int64
 		instances, work, err = subgraphmr.EnumerateBoundedDegree(g, s)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("strategy: serial bounded-degree (Theorem 7.3), work=%d\n", work)
+		fmt.Fprintf(out, "strategy: serial bounded-degree (Theorem 7.3), work=%d\n", work)
 	case "cascade":
 		if *sampleName != "triangle" {
-			fatalf("the cascade baseline supports -sample triangle only")
+			return fmt.Errorf("the cascade baseline supports -sample triangle only")
 		}
-		res := subgraphmr.TwoRoundTriangles(g)
-		fmt.Printf("strategy: two-round cascade of two-way joins (baseline)\n")
+		res := subgraphmr.TwoRoundTrianglesConfig(g, subgraphmr.EngineConfig{
+			Parallelism:  *workers,
+			Partitions:   *partitions,
+			MemoryBudget: *memBudget,
+			SpillDir:     *spillDir,
+		})
+		fmt.Fprintf(out, "strategy: two-round cascade of two-way joins (baseline)\n")
 		for _, r := range res.Chain.Rounds {
-			fmt.Printf("  round %q comm=%d reducers=%d maxload=%d\n",
+			fmt.Fprintf(out, "  round %q comm=%d reducers=%d maxload=%d\n",
 				r.Name, r.Metrics.KeyValuePairs, r.Metrics.DistinctKeys, r.Metrics.MaxReducerInput)
 		}
-		fmt.Printf("  wedges materialized: %d\n", res.Wedges)
-		fmt.Printf("  total comm=%d (%.2f/edge)\n", res.TotalComm(),
+		fmt.Fprintf(out, "  wedges materialized: %d\n", res.Wedges)
+		fmt.Fprintf(out, "  total comm=%d (%.2f/edge)\n", res.TotalComm(),
 			float64(res.TotalComm())/float64(g.NumEdges()))
-		fmt.Printf("instances found: %d\n", res.Count())
-		return
+		printSpill(out, res.Chain.Total())
+		fmt.Fprintf(out, "instances found: %d\n", res.Count())
+		return nil
 	case "doulion":
 		if *sampleName != "triangle" {
-			fatalf("the doulion baseline supports -sample triangle only")
+			return fmt.Errorf("the doulion baseline supports -sample triangle only")
 		}
 		est := subgraphmr.DoulionTriangles(g, *doulionQ, *trials, *genSeed)
-		fmt.Printf("strategy: doulion probabilistic counting (q=%.2f, %d trials)\n", *doulionQ, *trials)
-		fmt.Printf("estimated triangles: %.0f\n", est)
-		return
+		fmt.Fprintf(out, "strategy: doulion probabilistic counting (q=%.2f, %d trials)\n", *doulionQ, *trials)
+		fmt.Fprintf(out, "estimated triangles: %.0f\n", est)
+		return nil
 	case "bucket", "variable", "cq", "mr-decompose":
 		opt := subgraphmr.Options{
 			TargetReducers: *k,
@@ -112,6 +150,8 @@ func main() {
 			Seed:           *hashSeed,
 			Parallelism:    *workers,
 			Partitions:     *partitions,
+			MemoryBudget:   *memBudget,
+			SpillDir:       *spillDir,
 		}
 		var res *subgraphmr.Result
 		if *strategy == "mr-decompose" {
@@ -128,7 +168,7 @@ func main() {
 			res, err = subgraphmr.Enumerate(g, s, opt)
 		}
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		instances = res.Instances
 		label := opt.Strategy.String()
@@ -138,29 +178,38 @@ func main() {
 			queries = "no CQs (decomposition-based)"
 		}
 		if *countOnly {
-			fmt.Printf("strategy: %v (count-only), %s, %d job(s)\n", label, queries, len(res.Jobs))
-			fmt.Printf("instances counted: %d\n", res.Count)
+			fmt.Fprintf(out, "strategy: %v (count-only), %s, %d job(s)\n", label, queries, len(res.Jobs))
+			fmt.Fprintf(out, "instances counted: %d\n", res.Count)
 		} else {
-			fmt.Printf("strategy: %v, %s, %d job(s)\n", label, queries, len(res.Jobs))
+			fmt.Fprintf(out, "strategy: %v, %s, %d job(s)\n", label, queries, len(res.Jobs))
 		}
+		var total subgraphmr.Metrics
 		for _, job := range res.Jobs {
-			fmt.Printf("  job %q shares=%v\n", job.Label, job.Shares)
-			fmt.Printf("    predicted comm/edge=%.2f (fractional optimum %.2f)\n",
+			fmt.Fprintf(out, "  job %q shares=%v\n", job.Label, job.Shares)
+			fmt.Fprintf(out, "    predicted comm/edge=%.2f (fractional optimum %.2f)\n",
 				job.PredictedCommPerEdge, job.OptimalCommPerEdge)
 			mt := job.Metrics
-			fmt.Printf("    measured: comm=%d (%.2f/edge) reducers=%d maxload=%d work=%d\n",
+			fmt.Fprintf(out, "    measured: comm=%d (%.2f/edge) reducers=%d maxload=%d work=%d\n",
 				mt.KeyValuePairs, float64(mt.KeyValuePairs)/float64(g.NumEdges()),
 				mt.DistinctKeys, mt.MaxReducerInput, mt.ReducerWork)
+			total.Add(mt)
 		}
-		fmt.Printf("total communication: %d key-value pairs\n", res.TotalComm())
+		fmt.Fprintf(out, "total communication: %d key-value pairs\n", res.TotalComm())
+		printSpill(out, total)
 	default:
-		fatalf("unknown strategy %q", *strategy)
+		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
 	if *countOnly {
-		return
+		switch *strategy {
+		case "serial", "serial-decompose", "serial-degree":
+			// Serial strategies materialize regardless; report the count so
+			// -count output is uniform across strategies.
+			fmt.Fprintf(out, "instances counted: %d\n", len(instances))
+		}
+		return nil
 	}
-	fmt.Printf("instances found: %d\n", len(instances))
+	fmt.Fprintf(out, "instances found: %d\n", len(instances))
 	if *printAll {
 		sorted := append([][]subgraphmr.Node(nil), instances...)
 		sort.Slice(sorted, func(i, j int) bool {
@@ -175,12 +224,22 @@ func main() {
 		for _, phi := range sorted {
 			for i, u := range phi {
 				if i > 0 {
-					fmt.Print(" ")
+					fmt.Fprint(out, " ")
 				}
-				fmt.Printf("%s=%d", s.Name(i), u)
+				fmt.Fprintf(out, "%s=%d", s.Name(i), u)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
+	}
+	return nil
+}
+
+// printSpill reports external-shuffle activity when a memory budget was in
+// play; silent otherwise so default output is unchanged.
+func printSpill(out io.Writer, m subgraphmr.Metrics) {
+	if m.SpilledPairs > 0 {
+		fmt.Fprintf(out, "external shuffle: spilled=%d pairs, %d bytes, %d run file(s)\n",
+			m.SpilledPairs, m.SpillBytes, m.SpillFiles)
 	}
 }
 
@@ -215,9 +274,4 @@ func loadGraph(dataFile, gen string, n, m int, prob, avgDeg, exponent float64, d
 		return subgraphmr.RegularTree(delta, depth), nil
 	}
 	return nil, fmt.Errorf("unknown generator %q", gen)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sgmr: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var foundRe = regexp.MustCompile(`instances (?:found|counted): (\d+)`)
+
+// runSGMR drives the CLI in-process and returns its full output.
+func runSGMR(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("sgmr %s: %v\noutput:\n%s", strings.Join(args, " "), err, out.String())
+	}
+	return out.String()
+}
+
+// foundCount extracts the reported instance count.
+func foundCount(t *testing.T, output string) int {
+	t.Helper()
+	m := foundRe.FindStringSubmatch(output)
+	if m == nil {
+		t.Fatalf("no instance count in output:\n%s", output)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// graphArgs is the small shared corpus: big enough that every map-reduce
+// strategy does real work, small enough for the serial oracle.
+var graphArgs = []string{"-gen", "gnm", "-n", "60", "-m", "180", "-seed", "3"}
+
+// TestStrategiesAgree runs every enumeration strategy flag on the same
+// graph and sample and checks they all report the serial oracle's count.
+func TestStrategiesAgree(t *testing.T) {
+	for _, sample := range []string{"triangle", "square"} {
+		want := foundCount(t, runSGMR(t, append([]string{"-sample", sample, "-strategy", "serial"}, graphArgs...)...))
+		for _, strategy := range []string{"bucket", "variable", "cq", "mr-decompose", "serial-decompose", "serial-degree"} {
+			out := runSGMR(t, append([]string{"-sample", sample, "-strategy", strategy, "-k", "64"}, graphArgs...)...)
+			if got := foundCount(t, out); got != want {
+				t.Errorf("%s/%s: %d instances, serial found %d\n%s", sample, strategy, got, want, out)
+			}
+		}
+	}
+}
+
+// TestMemoryBudgetFlag checks -mem-budget: same counts, and the spill
+// report line proves the external shuffle engaged.
+func TestMemoryBudgetFlag(t *testing.T) {
+	want := foundCount(t, runSGMR(t, append([]string{"-strategy", "serial"}, graphArgs...)...))
+	for _, strategy := range []string{"bucket", "variable", "cq", "mr-decompose"} {
+		out := runSGMR(t, append([]string{"-strategy", strategy, "-k", "64",
+			"-mem-budget", "4096", "-spill-dir", t.TempDir()}, graphArgs...)...)
+		if got := foundCount(t, out); got != want {
+			t.Errorf("%s under -mem-budget: %d instances, want %d\n%s", strategy, got, want, out)
+		}
+		if !strings.Contains(out, "external shuffle: spilled=") {
+			t.Errorf("%s under -mem-budget 4096 reported no spilling:\n%s", strategy, out)
+		}
+	}
+}
+
+// TestCascadeAndBaselines smoke-tests the remaining strategies: the
+// two-round cascade (also under a budget) and the doulion estimator.
+func TestCascadeAndBaselines(t *testing.T) {
+	want := foundCount(t, runSGMR(t, append([]string{"-strategy", "serial"}, graphArgs...)...))
+	out := runSGMR(t, append([]string{"-strategy", "cascade"}, graphArgs...)...)
+	if got := foundCount(t, out); got != want {
+		t.Errorf("cascade: %d triangles, serial found %d", got, want)
+	}
+	out = runSGMR(t, append([]string{"-strategy", "cascade", "-mem-budget", "4096"}, graphArgs...)...)
+	if got := foundCount(t, out); got != want {
+		t.Errorf("cascade under -mem-budget: %d triangles, want %d", got, want)
+	}
+	if !strings.Contains(out, "external shuffle: spilled=") {
+		t.Errorf("cascade under -mem-budget 4096 reported no spilling:\n%s", out)
+	}
+	out = runSGMR(t, append([]string{"-strategy", "doulion"}, graphArgs...)...)
+	if !strings.Contains(out, "estimated triangles:") {
+		t.Errorf("doulion printed no estimate:\n%s", out)
+	}
+}
+
+// TestCountOnlyAndPrint covers -count and -print output shapes.
+func TestCountOnlyAndPrint(t *testing.T) {
+	want := foundCount(t, runSGMR(t, append([]string{"-strategy", "serial"}, graphArgs...)...))
+	for _, strategy := range []string{"bucket", "serial", "serial-decompose"} {
+		out := runSGMR(t, append([]string{"-strategy", strategy, "-k", "64", "-count"}, graphArgs...)...)
+		if got := foundCount(t, out); got != want {
+			t.Errorf("%s -count: %d instances, want %d", strategy, got, want)
+		}
+	}
+	out := runSGMR(t, append([]string{"-strategy", "bucket", "-k", "64", "-print"}, graphArgs...)...)
+	if n := len(regexp.MustCompile(`(?m)^X=\d+ Y=\d+ Z=\d+$`).FindAllString(out, -1)); n != want {
+		t.Errorf("-print listed %d assignments, want %d\n%s", n, want, out)
+	}
+}
+
+// TestDataFileRoundTrip feeds a graph through -data instead of a generator.
+func TestDataFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var sb strings.Builder
+	sb.WriteString("# nodes 5\n")
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}} {
+		fmt.Fprintf(&sb, "%d %d\n", e[0], e[1])
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runSGMR(t, "-data", path, "-strategy", "bucket", "-k", "16")
+	if got := foundCount(t, out); got != 2 {
+		t.Errorf("two triangles in the file, strategy found %d\n%s", got, out)
+	}
+}
+
+// TestBadFlags checks error paths exit through run's error return.
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-sample", "no-such-sample"},
+		{"-strategy", "no-such-strategy"},
+		{"-gen", "no-such-gen"},
+		{"-strategy", "cascade", "-sample", "square"},
+		{"-data", filepath.Join(t.TempDir(), "missing.txt")},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("sgmr %s: expected an error", strings.Join(args, " "))
+		}
+	}
+}

@@ -90,6 +90,13 @@ func TwoRoundTriangles(g *Graph) TwoRoundResult {
 	return tworound.Triangles(g, mapreduce.Config{})
 }
 
+// TwoRoundTrianglesConfig is TwoRoundTriangles under an explicit engine
+// configuration — e.g. a MemoryBudget that spills the materialized wedge
+// relation instead of holding it in the reduce workers.
+func TwoRoundTrianglesConfig(g *Graph, cfg EngineConfig) TwoRoundResult {
+	return tworound.Triangles(g, cfg)
+}
+
 // WedgeCount returns the size of the intermediate relation the cascade
 // must ship.
 func WedgeCount(g *Graph) int64 { return tworound.WedgeCount(g) }

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"subgraphmr/internal/graph"
+)
+
+// edgeCodec is the spill codec for every enumeration job in this package:
+// keys are bucket-multiset strings (already compact byte strings, stored
+// raw) and values are data edges (two 32-bit node ids, big-endian). It
+// replaces the engine's reflection-based default on the hot path — the
+// bucket jobs spill millions of edges on large graphs.
+type edgeCodec struct{}
+
+func (edgeCodec) AppendKey(dst []byte, k string) []byte { return append(dst, k...) }
+
+func (edgeCodec) DecodeKey(src []byte) (string, error) { return string(src), nil }
+
+func (edgeCodec) AppendValue(dst []byte, e graph.Edge) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(e.U))
+	return binary.BigEndian.AppendUint32(dst, uint32(e.V))
+}
+
+func (edgeCodec) DecodeValue(src []byte) (graph.Edge, error) {
+	if len(src) != 8 {
+		return graph.Edge{}, fmt.Errorf("core: edge encoding is %d bytes, want 8", len(src))
+	}
+	return graph.Edge{
+		U: graph.Node(binary.BigEndian.Uint32(src)),
+		V: graph.Node(binary.BigEndian.Uint32(src[4:])),
+	}, nil
+}

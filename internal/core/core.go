@@ -82,6 +82,14 @@ type Options struct {
 	// the pipelined engine (0 = Parallelism). It affects scheduling only,
 	// never the reported Metrics.
 	Partitions int
+	// MemoryBudget bounds, in bytes, the grouped intermediate pairs the
+	// engine's reduce workers hold in memory; 0 means unlimited. When
+	// exceeded the engine spills sorted runs to SpillDir and merge-streams
+	// them into the reducers — instances and core metrics are unchanged,
+	// Metrics.Spilled* record the extra I/O.
+	MemoryBudget int64
+	// SpillDir is the directory for spill run files ("" = system temp).
+	SpillDir string
 }
 
 func (o Options) reducers() int {
@@ -89,6 +97,16 @@ func (o Options) reducers() int {
 		return o.TargetReducers
 	}
 	return 1024
+}
+
+// engineConfig translates the enumeration options into an engine Config.
+func (o Options) engineConfig() mapreduce.Config {
+	return mapreduce.Config{
+		Parallelism:  o.Parallelism,
+		Partitions:   o.Partitions,
+		MemoryBudget: o.MemoryBudget,
+		SpillDir:     o.SpillDir,
+	}
 }
 
 // JobStats describes one map-reduce job of an enumeration.
@@ -154,7 +172,7 @@ func Enumerate(g *graph.Graph, s *sample.Sample, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := mapreduce.Config{Parallelism: opt.Parallelism, Partitions: opt.Partitions}
+	cfg := opt.engineConfig()
 	switch opt.Strategy {
 	case BucketOriented:
 		return bucketOriented(g, s, qs, opt, cfg)
@@ -237,6 +255,7 @@ func bucketOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, 
 		Name:   fmt.Sprintf("bucket-oriented b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
+		Codec:  edgeCodec{},
 	}.Run(cfg, g.Edges())
 	job := JobStats{
 		Label:                fmt.Sprintf("bucket-oriented b=%d", b),
@@ -424,6 +443,7 @@ func runShareJob(g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds [
 		Name:   label,
 		Map:    mapper,
 		Reduce: reducer,
+		Codec:  edgeCodec{},
 	}.Run(cfg, g.Edges())
 	fs := make([]float64, p)
 	for v, sh := range intShares {

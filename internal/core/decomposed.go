@@ -42,7 +42,7 @@ func EnumerateDecomposed(g *graph.Graph, s *sample.Sample, parts []sample.Part, 
 		return nil, fmt.Errorf("core: bucket count %d exceeds 255", b)
 	}
 	h := graph.NodeHash{Seed: opt.Seed + 0x9e3779b97f4a7c15, B: b}
-	cfg := mapreduce.Config{Parallelism: opt.Parallelism, Partitions: opt.Partitions}
+	cfg := opt.engineConfig()
 
 	var counted atomic.Int64
 	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
@@ -83,6 +83,7 @@ func EnumerateDecomposed(g *graph.Graph, s *sample.Sample, parts []sample.Part, 
 		Name:   fmt.Sprintf("decomposed (Theorem 6.1) b=%d", b),
 		Map:    bucketEdgeMapper(h, p, b),
 		Reduce: reducer,
+		Codec:  edgeCodec{},
 	}.Run(cfg, g.Edges())
 
 	job := JobStats{

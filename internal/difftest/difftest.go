@@ -1,0 +1,202 @@
+// Package difftest is a cross-strategy differential test harness: it runs
+// every map-reduce enumeration strategy on the same inputs and checks the
+// result against the serial oracle, returning the engine metrics so callers
+// can additionally assert how the job executed (e.g. that a memory budget
+// really forced the external shuffle to spill).
+//
+// Each Check function returns a descriptive error on the first divergence —
+// a wrong, missing or duplicated instance — and the summed metrics of every
+// map-reduce job it ran. The checks are deterministic given their seeds, so
+// a failure reproduces standalone.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+
+	"subgraphmr/internal/core"
+	"subgraphmr/internal/directed"
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/multijoin"
+	"subgraphmr/internal/sample"
+	"subgraphmr/internal/serial"
+	"subgraphmr/internal/triangle"
+	"subgraphmr/internal/tworound"
+)
+
+// compareInstances checks that got contains exactly the oracle's instance
+// set, each exactly once, keyed canonically.
+func compareInstances(label string, want map[string]bool, got []string) error {
+	seen := make(map[string]bool, len(got))
+	for _, k := range got {
+		if seen[k] {
+			return fmt.Errorf("%s: instance %s produced twice", label, k)
+		}
+		seen[k] = true
+		if !want[k] {
+			return fmt.Errorf("%s: spurious instance %s (not found by the serial oracle)", label, k)
+		}
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("%s: %d instances, oracle found %d", label, len(seen), len(want))
+	}
+	return nil
+}
+
+// sampleOracle enumerates the oracle instance set of s in g by brute force.
+func sampleOracle(g *graph.Graph, s *sample.Sample) map[string]bool {
+	want := map[string]bool{}
+	for _, phi := range serial.BruteForce(g, s) {
+		want[s.Key(phi)] = true
+	}
+	return want
+}
+
+// CheckEnumerate runs core.Enumerate under opt and compares the instance
+// set against the brute-force oracle.
+func CheckEnumerate(g *graph.Graph, s *sample.Sample, opt core.Options) (mapreduce.Metrics, error) {
+	res, err := core.Enumerate(g, s, opt)
+	if err != nil {
+		return mapreduce.Metrics{}, err
+	}
+	return checkResult(fmt.Sprintf("enumerate/%v/%v", opt.Strategy, s), g, s, res)
+}
+
+// CheckDecomposed runs the Theorem 6.1 decomposition conversion and
+// compares the instance set against the brute-force oracle.
+func CheckDecomposed(g *graph.Graph, s *sample.Sample, opt core.Options) (mapreduce.Metrics, error) {
+	res, err := core.EnumerateDecomposed(g, s, nil, opt)
+	if err != nil {
+		return mapreduce.Metrics{}, err
+	}
+	return checkResult(fmt.Sprintf("mr-decompose/%v", s), g, s, res)
+}
+
+func checkResult(label string, g *graph.Graph, s *sample.Sample, res *core.Result) (mapreduce.Metrics, error) {
+	var m mapreduce.Metrics
+	for _, j := range res.Jobs {
+		m.Add(j.Metrics)
+	}
+	keys := make([]string, 0, len(res.Instances))
+	for _, phi := range res.Instances {
+		if !s.IsInstance(g, phi) {
+			return m, fmt.Errorf("%s: emitted non-instance %v", label, phi)
+		}
+		keys = append(keys, s.Key(phi))
+	}
+	if err := compareInstances(label, sampleOracle(g, s), keys); err != nil {
+		return m, err
+	}
+	if res.Count != int64(len(res.Instances)) {
+		return m, fmt.Errorf("%s: Count %d but %d instances", label, res.Count, len(res.Instances))
+	}
+	return m, nil
+}
+
+// CheckTwoRound runs the two-round cascade baseline and compares its
+// triangle set against the serial enumerator.
+func CheckTwoRound(g *graph.Graph, cfg mapreduce.Config) (mapreduce.Metrics, error) {
+	res := tworound.Triangles(g, cfg)
+	got := make([]string, 0, len(res.Triangles))
+	for _, tr := range res.Triangles {
+		got = append(got, fmt.Sprint(tr))
+	}
+	return res.Chain.Total(), compareInstances("tworound", triangleOracle(g), got)
+}
+
+// CheckTriangle runs one of the Section 2 triangle algorithms ("partition",
+// "multiway" or "bucket") and compares its triangle set against the serial
+// enumerator.
+func CheckTriangle(g *graph.Graph, algo string, b int, seed uint64, cfg mapreduce.Config) (mapreduce.Metrics, error) {
+	var res triangle.Result
+	var err error
+	switch algo {
+	case "partition":
+		res, err = triangle.Partition(g, b, seed, cfg)
+	case "multiway":
+		res, err = triangle.Multiway(g, b, seed, cfg)
+	case "bucket":
+		res, err = triangle.BucketOrdered(g, b, seed, cfg)
+	default:
+		return mapreduce.Metrics{}, fmt.Errorf("difftest: unknown triangle algorithm %q", algo)
+	}
+	if err != nil {
+		return mapreduce.Metrics{}, err
+	}
+	got := make([]string, 0, len(res.Triangles))
+	for _, tr := range res.Triangles {
+		got = append(got, fmt.Sprint(tr))
+	}
+	return res.Metrics, compareInstances("triangle/"+algo, triangleOracle(g), got)
+}
+
+func triangleOracle(g *graph.Graph) map[string]bool {
+	want := map[string]bool{}
+	serial.Triangles(g, func(a, b, c graph.Node) {
+		want[fmt.Sprint([3]graph.Node{a, b, c})] = true
+	})
+	return want
+}
+
+// CheckCycleChain evaluates the p-cycle join as a cascade of map-reduce
+// rounds and compares the rows against the serial backtracking join.
+func CheckCycleChain(rels []*multijoin.Relation, cfg mapreduce.Config) (mapreduce.Metrics, error) {
+	want, _ := multijoin.CycleJoin(rels)
+	got, chain := multijoin.CycleJoinChain(rels, cfg)
+	m := chain.Total()
+	multijoin.SortRows(want)
+	multijoin.SortRows(got)
+	if len(got) != len(want) {
+		return m, fmt.Errorf("cyclechain: %d rows, serial join found %d", len(got), len(want))
+	}
+	for i := range want {
+		if multijoin.RowKey(got[i]) != multijoin.RowKey(want[i]) {
+			return m, fmt.Errorf("cyclechain: row %d is %v, serial join found %v", i, got[i], want[i])
+		}
+	}
+	return m, nil
+}
+
+// CheckDirected runs the directed labeled enumeration and compares the
+// instance set against the directed brute-force oracle.
+func CheckDirected(g *directed.DiGraph, pt *directed.DiPattern, opt directed.Options) (mapreduce.Metrics, error) {
+	res, err := directed.Enumerate(g, pt, opt)
+	if err != nil {
+		return mapreduce.Metrics{}, err
+	}
+	want := map[string]bool{}
+	for _, phi := range directed.BruteForce(g, pt) {
+		want[fmt.Sprint(phi)] = true
+	}
+	got := make([]string, 0, len(res.Instances))
+	for _, phi := range res.Instances {
+		got = append(got, fmt.Sprint(phi))
+	}
+	return res.Metrics, compareInstances("directed", want, got)
+}
+
+// Graphs returns the seeded test corpus: a uniform Gnm graph and a skewed
+// power-law graph, both small enough for the brute-force oracle.
+func Graphs(seed int64) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnm":      graph.Gnm(26, 60, seed),
+		"powerlaw": graph.PowerLaw(30, 5, 2.3, seed+1),
+	}
+}
+
+// Samples returns the sample graphs the harness checks, ordered by name.
+func Samples() []*sample.Sample {
+	ss := []*sample.Sample{
+		sample.SingleEdge(),
+		sample.TwoPath(),
+		sample.Triangle(),
+		sample.Square(),
+		sample.Lollipop(),
+		sample.Cycle(5),
+		sample.Path(4),
+		sample.Star(4),
+	}
+	sort.Slice(ss, func(i, j int) bool { return fmt.Sprint(ss[i]) < fmt.Sprint(ss[j]) })
+	return ss
+}

@@ -1,0 +1,203 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"subgraphmr/internal/core"
+	"subgraphmr/internal/directed"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/multijoin"
+	"subgraphmr/internal/sample"
+)
+
+// modes runs every check twice: fully in memory, and under a memory budget
+// tiny enough that each reduce worker must spill — the differential answer
+// has to be identical either way.
+var modes = []struct {
+	name   string
+	budget int64
+}{
+	{"in-memory", 0},
+	{"spill", 2048},
+}
+
+// wantSpill asserts the spill mode actually exercised the external shuffle.
+func wantSpill(t *testing.T, budget int64, m mapreduce.Metrics) {
+	t.Helper()
+	if budget > 0 && m.SpilledPairs == 0 {
+		t.Errorf("budget %d never spilled (metrics %+v)", budget, m)
+	}
+	if budget == 0 && m.SpilledPairs != 0 {
+		t.Errorf("unbudgeted run spilled: %+v", m)
+	}
+}
+
+func TestEnumerateAllStrategies(t *testing.T) {
+	for gname, g := range Graphs(7) {
+		for _, s := range Samples() {
+			for _, strat := range []core.Strategy{core.BucketOriented, core.VariableOriented, core.CQOriented} {
+				for _, mode := range modes {
+					name := fmt.Sprintf("%s/%v/%v/%s", gname, s, strat, mode.name)
+					t.Run(name, func(t *testing.T) {
+						m, err := CheckEnumerate(g, s, core.Options{
+							Strategy:       strat,
+							TargetReducers: 64,
+							Seed:           11,
+							Parallelism:    2,
+							Partitions:     2,
+							MemoryBudget:   mode.budget,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						wantSpill(t, mode.budget, m)
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateCycleCQs(t *testing.T) {
+	g := Graphs(3)["gnm"]
+	for _, mode := range modes {
+		m, err := CheckEnumerate(g, sample.Named("c5"), core.Options{
+			UseCycleCQs:    true,
+			TargetReducers: 64,
+			Parallelism:    2,
+			Partitions:     2,
+			MemoryBudget:   mode.budget,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		wantSpill(t, mode.budget, m)
+	}
+}
+
+func TestDecomposed(t *testing.T) {
+	for gname, g := range Graphs(9) {
+		for _, s := range Samples() {
+			if s.P() < 3 {
+				continue // decomposition needs at least one non-edge part
+			}
+			for _, mode := range modes {
+				t.Run(fmt.Sprintf("%s/%v/%s", gname, s, mode.name), func(t *testing.T) {
+					m, err := CheckDecomposed(g, s, core.Options{
+						TargetReducers: 64,
+						Seed:           5,
+						Parallelism:    2,
+						Partitions:     2,
+						MemoryBudget:   mode.budget,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantSpill(t, mode.budget, m)
+				})
+			}
+		}
+	}
+}
+
+func TestTwoRoundCascade(t *testing.T) {
+	for gname, g := range Graphs(13) {
+		for _, mode := range modes {
+			t.Run(gname+"/"+mode.name, func(t *testing.T) {
+				m, err := CheckTwoRound(g, mapreduce.Config{
+					Parallelism: 2, Partitions: 2, MemoryBudget: mode.budget,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSpill(t, mode.budget, m)
+			})
+		}
+	}
+}
+
+func TestTriangleAlgorithms(t *testing.T) {
+	for gname, g := range Graphs(17) {
+		for _, algo := range []string{"partition", "multiway", "bucket"} {
+			for _, mode := range modes {
+				t.Run(fmt.Sprintf("%s/%s/%s", gname, algo, mode.name), func(t *testing.T) {
+					m, err := CheckTriangle(g, algo, 4, 3, mapreduce.Config{
+						Parallelism: 2, Partitions: 2, MemoryBudget: mode.budget,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantSpill(t, mode.budget, m)
+				})
+			}
+		}
+	}
+}
+
+func TestMultijoinCycleChain(t *testing.T) {
+	for _, p := range []int{3, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(p) * 31))
+		rels := make([]*multijoin.Relation, p)
+		for i := range rels {
+			tuples := make([]multijoin.Tuple, 150)
+			for j := range tuples {
+				tuples[j] = multijoin.Tuple{A: rng.Int63n(12), B: rng.Int63n(12)}
+			}
+			rels[i] = multijoin.NewRelation(tuples)
+		}
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("p%d/%s", p, mode.name), func(t *testing.T) {
+				m, err := CheckCycleChain(rels, mapreduce.Config{
+					Parallelism: 2, Partitions: 2, MemoryBudget: mode.budget,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSpill(t, mode.budget, m)
+			})
+		}
+	}
+}
+
+func TestDirectedPatterns(t *testing.T) {
+	g := directed.RandomDiGraph(28, 110, 2, 23)
+	patterns := map[string]*directed.DiPattern{
+		"cycle3": directed.DirectedCycle(3, 0),
+		"path3":  directed.DirectedPath(3, 0),
+		"fanin3": directed.FanIn(3, 0),
+	}
+	for pname, pt := range patterns {
+		for _, mode := range modes {
+			t.Run(pname+"/"+mode.name, func(t *testing.T) {
+				m, err := CheckDirected(g, pt, directed.Options{
+					Buckets: 4, Parallelism: 2, Partitions: 2, MemoryBudget: mode.budget,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSpill(t, mode.budget, m)
+			})
+		}
+	}
+}
+
+// TestOneByteBudget is the stress extreme: a budget of one byte spills
+// after every single pair, driving the run count through the merge fan-in
+// compaction, and must still agree with the oracle.
+func TestOneByteBudget(t *testing.T) {
+	g := Graphs(29)["gnm"]
+	m, err := CheckEnumerate(g, sample.Named("triangle"), core.Options{
+		TargetReducers: 64,
+		Parallelism:    2,
+		Partitions:     2,
+		MemoryBudget:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SpilledPairs == 0 || m.SpillFiles < 4 {
+		t.Errorf("one-byte budget should spill per pair, metrics %+v", m)
+	}
+}

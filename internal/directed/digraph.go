@@ -17,6 +17,7 @@ package directed
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"subgraphmr/internal/graph"
 	"subgraphmr/internal/perm"
@@ -131,7 +132,9 @@ type DiPattern struct {
 	p     int
 	arcs  []PatternArc
 	names []string
-	auts  []perm.Perm
+
+	autOnce sync.Once
+	auts    []perm.Perm // cached automorphism group, computed under autOnce
 }
 
 // PatternArc is a directed labeled edge of a pattern.
@@ -229,28 +232,29 @@ func (pt *DiPattern) IsWeaklyConnected() bool {
 }
 
 // Automorphisms returns the label- and direction-preserving automorphism
-// group of the pattern (cached). As the paper notes, these groups are
-// typically smaller than in the undirected unlabeled case.
+// group of the pattern, computed once and cached. Safe for concurrent use
+// — reducers of a parallel enumeration call it on a shared pattern. As the
+// paper notes, these groups are typically smaller than in the undirected
+// unlabeled case.
 func (pt *DiPattern) Automorphisms() []perm.Perm {
-	if pt.auts != nil {
-		return pt.auts
-	}
-	arcSet := make(map[PatternArc]bool, len(pt.arcs))
-	for _, a := range pt.arcs {
-		arcSet[a] = true
-	}
-	var out []perm.Perm
-	perm.ForEach(pt.p, func(pm perm.Perm) bool {
+	pt.autOnce.Do(func() {
+		arcSet := make(map[PatternArc]bool, len(pt.arcs))
 		for _, a := range pt.arcs {
-			if !arcSet[PatternArc{pm[a.From], pm[a.To], a.Label}] {
-				return true // not an automorphism; next permutation
-			}
+			arcSet[a] = true
 		}
-		out = append(out, append(perm.Perm(nil), pm...))
-		return true
+		var out []perm.Perm
+		perm.ForEach(pt.p, func(pm perm.Perm) bool {
+			for _, a := range pt.arcs {
+				if !arcSet[PatternArc{pm[a.From], pm[a.To], a.Label}] {
+					return true // not an automorphism; next permutation
+				}
+			}
+			out = append(out, append(perm.Perm(nil), pm...))
+			return true
+		})
+		pt.auts = out
 	})
-	pt.auts = out
-	return out
+	return pt.auts
 }
 
 // IsInstance reports whether phi is an injective mapping sending every

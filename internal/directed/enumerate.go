@@ -17,6 +17,14 @@ type Options struct {
 	Seed uint64
 	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// Partitions is the number of shuffle partitions / reduce workers
+	// (0 = Parallelism).
+	Partitions int
+	// MemoryBudget bounds, in bytes, the grouped arcs the engine's reduce
+	// workers hold in memory; 0 means unlimited. See mapreduce.Config.
+	MemoryBudget int64
+	// SpillDir is the directory for spill run files ("" = system temp).
+	SpillDir string
 }
 
 // Result carries the instances and job metrics.
@@ -93,7 +101,12 @@ func Enumerate(g *DiGraph, pt *DiPattern, opt Options) (*Result, error) {
 		Name:   fmt.Sprintf("directed bucket-oriented b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
-	}.Run(mapreduce.Config{Parallelism: opt.Parallelism}, g.Arcs())
+	}.Run(mapreduce.Config{
+		Parallelism:  opt.Parallelism,
+		Partitions:   opt.Partitions,
+		MemoryBudget: opt.MemoryBudget,
+		SpillDir:     opt.SpillDir,
+	}, g.Arcs())
 	return &Result{Instances: instances, Metrics: metrics, Buckets: b}, nil
 }
 

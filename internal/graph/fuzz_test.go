@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList feeds arbitrary bytes to the edge-list parser — it must
+// never panic — and, whenever a graph parses, checks that writing it and
+// re-reading it reproduces the same node count and edge set.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("# nodes 3\n0 1\n1 2\n"))
+	f.Add([]byte("0 1\n"))
+	f.Add([]byte("# a comment\n\n2 2\n"))
+	f.Add([]byte("5 -1\n"))
+	f.Add([]byte("# nodes 1\n7 8\n"))
+	f.Add([]byte("1 2 3 trailing\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("writing parsed graph: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written graph: %v\ninput: %q", err, buf.String())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: n %d→%d, m %d→%d",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.V) {
+				t.Fatalf("round trip lost edge %v", e)
+			}
+		}
+	})
+}

@@ -58,6 +58,42 @@ func BenchmarkPipelinedVsBarrier(b *testing.B) {
 	}
 }
 
+// BenchmarkSpillVsInMemory prices the external shuffle: the same wedge job
+// fully in memory, under a 1 MiB budget (spilling but few runs), and under
+// a 64 KiB budget (many runs, exercising the compaction passes), on both
+// the uniform and the skewed corpus. The budgets sit far below the
+// multi-megabyte in-memory group tables, so every budgeted run spills.
+func BenchmarkSpillVsInMemory(b *testing.B) {
+	for name, g := range benchGraphs() {
+		edges := g.Edges()
+		want := int64(2 * len(edges))
+		for _, bench := range []struct {
+			label  string
+			budget int64
+		}{
+			{"inmemory", 0},
+			{"spill-1MiB", 1 << 20},
+			{"spill-64KiB", 64 << 10},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", name, bench.label), func(b *testing.B) {
+				var m Metrics
+				for i := 0; i < b.N; i++ {
+					_, m = Run(Config{MemoryBudget: bench.budget, SpillDir: b.TempDir()},
+						edges, wedgeMap, wedgeReduce)
+					if m.KeyValuePairs != want {
+						b.Fatalf("engine dropped pairs: %d != %d", m.KeyValuePairs, want)
+					}
+					if bench.budget > 0 && m.SpilledPairs == 0 {
+						b.Fatalf("budget %d did not spill", bench.budget)
+					}
+				}
+				b.ReportMetric(float64(m.SpilledPairs), "spilled/op")
+				b.ReportMetric(float64(m.SpillFiles), "runs/op")
+			})
+		}
+	}
+}
+
 // BenchmarkCombinerCounting measures the communication saved by the
 // counting combiner on a degree-histogram job.
 func BenchmarkCombinerCounting(b *testing.B) {

@@ -191,9 +191,15 @@ func TestPipelinedMatchesBarrier(t *testing.T) {
 		{Parallelism: 1},
 		{Parallelism: 1, Partitions: 9},
 		{Parallelism: 8, Partitions: 3, BatchSize: 7},
+		{MemoryBudget: 4096},
+		{Parallelism: 8, Partitions: 3, BatchSize: 7, MemoryBudget: 1},
 	} {
 		gotOut, gotM := Run(cfg, inputs, mapFn, reduceFn)
 		sort.Ints(gotOut)
+		if cfg.MemoryBudget > 0 && gotM.SpilledPairs == 0 {
+			t.Errorf("cfg %+v: tiny budget did not spill", cfg)
+		}
+		gotM.SpilledPairs, gotM.SpillBytes, gotM.SpillFiles = 0, 0, 0
 		if gotM != wantM {
 			t.Errorf("cfg %+v: metrics = %+v, want %+v", cfg, gotM, wantM)
 		}

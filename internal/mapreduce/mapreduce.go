@@ -27,6 +27,7 @@
 package mapreduce
 
 import (
+	"fmt"
 	"hash/maphash"
 	"runtime"
 	"sort"
@@ -50,6 +51,17 @@ type Metrics struct {
 	ReducerWork int64
 	// Outputs is the total number of values emitted by reducers.
 	Outputs int64
+	// SpilledPairs is the number of key-value pairs the external shuffle
+	// moved from reduce-worker memory to spill runs (zero when
+	// Config.MemoryBudget is unset or never exceeded). Each pair counts
+	// once, however many merge passes later rewrite it.
+	SpilledPairs int64
+	// SpillBytes is the total bytes written to spill run files, including
+	// intermediate merge passes.
+	SpillBytes int64
+	// SpillFiles is the number of spill run files created, including
+	// intermediate merge outputs. All are removed before Run returns.
+	SpillFiles int64
 }
 
 // Add accumulates other into m (for summing metrics across jobs).
@@ -61,6 +73,9 @@ func (m *Metrics) Add(other Metrics) {
 	}
 	m.ReducerWork += other.ReducerWork
 	m.Outputs += other.Outputs
+	m.SpilledPairs += other.SpilledPairs
+	m.SpillBytes += other.SpillBytes
+	m.SpillFiles += other.SpillFiles
 }
 
 // Context is handed to each reducer invocation so it can report abstract
@@ -117,6 +132,23 @@ type Config struct {
 	// combining before it must combine-and-ship; 0 means 1<<15. Only used
 	// when the job has a combiner.
 	CombinerBuffer int
+	// MemoryBudget bounds, in estimated heap bytes, the grouped
+	// intermediate pairs the reduce workers hold in memory, summed across
+	// all partitions; 0 means unlimited (no spilling). A worker whose
+	// group table exceeds its share of the budget serializes it as a
+	// sorted run to a temp file and finishes the round with a k-way merge
+	// that streams each key's values into the reducer, so shuffle-state
+	// memory is bounded by the budget plus the largest single key group.
+	// The bound covers the shuffle only: values emitted by reducers still
+	// accumulate in memory until Run returns, so jobs whose output is
+	// itself huge should aggregate or count in the reducer instead of
+	// materializing (cf. core's CountOnly). Outputs and the core metrics
+	// are identical to the in-memory path; the Spill* metrics record the
+	// extra I/O. Spill I/O failures panic in Run with a descriptive error.
+	MemoryBudget int64
+	// SpillDir is the directory for spill run files; "" means the system
+	// temp dir. Only used when MemoryBudget is set.
+	SpillDir string
 }
 
 func (c Config) workers() int {
@@ -148,20 +180,33 @@ func (c Config) combinerBuffer() int {
 }
 
 // Job is one map-reduce round. Map and Reduce are required; Combine and
-// Partition are optional (no combining, hash partitioning). Name labels the
-// round in Chain statistics.
+// Partition are optional (no combining, hash partitioning), as is Codec
+// (spill serialization when Config.MemoryBudget is set; nil means
+// DefaultCodec). Name labels the round in Chain statistics.
 type Job[I any, K comparable, V any, O any] struct {
 	Name      string
 	Map       Mapper[I, K, V]
 	Combine   Combiner[K, V]
 	Partition Partitioner[K]
 	Reduce    Reducer[K, V, O]
+	Codec     Codec[K, V]
 }
 
 // pair is one shuffled key-value pair.
 type pair[K comparable, V any] struct {
 	key K
 	val V
+}
+
+// partitionIndex applies a partitioner and normalizes its result into
+// [0, p), reducing modulo p and folding negatives up, so any deterministic
+// integer function of the key routes validly.
+func partitionIndex[K comparable](partition Partitioner[K], k K, p int) int {
+	i := partition(k, p) % p
+	if i < 0 {
+		i += p
+	}
+	return i
 }
 
 // Run executes the job: Map is applied to every input, emitted pairs are
@@ -189,6 +234,28 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 		}
 	}
 
+	// External shuffle: with a memory budget, every reduce worker gets an
+	// equal share and spills its group table to sorted runs when estimated
+	// heap use crosses it.
+	var (
+		budget int64
+		codec  Codec[K, V]
+		ksize  func(K) int
+		vsize  func(V) int
+	)
+	if cfg.MemoryBudget > 0 {
+		budget = cfg.MemoryBudget / int64(np)
+		if budget < 1 {
+			budget = 1
+		}
+		codec = j.Codec
+		if codec == nil {
+			codec = DefaultCodec[K, V]()
+		}
+		ksize = sizerFor[K]()
+		vsize = sizerFor[V]()
+	}
+
 	chans := make([]chan []pair[K, V], np)
 	for p := range chans {
 		chans[p] = make(chan []pair[K, V], 2*nm)
@@ -196,33 +263,79 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 
 	// Reduce workers: each owns one partition, grouping batches as they
 	// arrive (concurrently with mapping) and reducing once its channel
-	// closes.
+	// closes — from memory, or via the run merge when it spilled.
 	var (
 		rwg      sync.WaitGroup
 		distinct = make([]int64, np)
 		maxIn    = make([]int64, np)
 		works    = make([]int64, np)
 		outs     = make([][]O, np)
+		spills   = make([]Metrics, np)
+		errs     = make([]error, np)
 	)
 	for p := 0; p < np; p++ {
 		rwg.Add(1)
 		go func(p int) {
 			defer rwg.Done()
+			var sp *spiller[K, V]
+			if budget > 0 {
+				sp = newSpiller(codec, cfg.SpillDir)
+				defer sp.cleanup()
+			}
 			groups := make(map[K][]V)
+			var est int64
 			for batch := range chans[p] {
 				for _, kv := range batch {
-					groups[kv.key] = append(groups[kv.key], kv.val)
+					vs, ok := groups[kv.key]
+					groups[kv.key] = append(vs, kv.val)
+					if budget > 0 {
+						if !ok {
+							est += spillKeyOverhead + int64(ksize(kv.key))
+						}
+						est += spillPairOverhead + int64(vsize(kv.val))
+						if est > budget {
+							if err := sp.spill(groups); err != nil {
+								errs[p] = err
+								for range chans[p] { // unblock mappers
+								}
+								return
+							}
+							groups = make(map[K][]V)
+							est = 0
+						}
+					}
 				}
 			}
-			distinct[p] = int64(len(groups))
 			ctx := &Context{}
 			var out []O
 			emit := func(o O) { out = append(out, o) }
-			for k, vs := range groups {
-				if n := int64(len(vs)); n > maxIn[p] {
-					maxIn[p] = n
+			if sp != nil && len(sp.paths) > 0 {
+				if len(groups) > 0 {
+					if err := sp.spill(groups); err != nil {
+						errs[p] = err
+						return
+					}
+					groups = nil
 				}
-				j.Reduce(ctx, k, vs, emit)
+				d, mi, err := sp.mergeReduce(func(k K, vs []V) {
+					j.Reduce(ctx, k, vs, emit)
+				})
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				distinct[p], maxIn[p] = d, mi
+			} else {
+				distinct[p] = int64(len(groups))
+				for k, vs := range groups {
+					if n := int64(len(vs)); n > maxIn[p] {
+						maxIn[p] = n
+					}
+					j.Reduce(ctx, k, vs, emit)
+				}
+			}
+			if sp != nil {
+				spills[p] = Metrics{SpilledPairs: sp.pairs, SpillBytes: sp.bytes, SpillFiles: sp.runs}
 			}
 			works[p] = ctx.work
 			outs[p] = out
@@ -252,10 +365,7 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 			batch := cfg.batchSize()
 			bufs := make([][]pair[K, V], np)
 			ship := func(k K, v V) {
-				p := partition(k, np) % np
-				if p < 0 {
-					p += np
-				}
+				p := partitionIndex(partition, k, np)
 				if bufs[p] == nil {
 					bufs[p] = make([]pair[K, V], 0, batch)
 				}
@@ -312,6 +422,11 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 	}
 	rwg.Wait()
 
+	for p := 0; p < np; p++ {
+		if errs[p] != nil {
+			panic(fmt.Sprintf("mapreduce: external shuffle failed: %v", errs[p]))
+		}
+	}
 	var metrics Metrics
 	var result []O
 	for w := 0; w < nm; w++ {
@@ -323,6 +438,9 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 			metrics.MaxReducerInput = maxIn[p]
 		}
 		metrics.ReducerWork += works[p]
+		metrics.SpilledPairs += spills[p].SpilledPairs
+		metrics.SpillBytes += spills[p].SpillBytes
+		metrics.SpillFiles += spills[p].SpillFiles
 		result = append(result, outs[p]...)
 	}
 	metrics.Outputs = int64(len(result))

@@ -1,0 +1,365 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The external shuffle. When Config.MemoryBudget is set, each reduce worker
+// tracks an estimate of its group table's heap footprint; crossing its share
+// of the budget serializes the table as one sorted run (records ordered by
+// encoded key) to a temp file and clears it. After the map phase the worker
+// merges its runs with a k-way heap merge — intermediate merge passes keep
+// the fan-in at most mergeFanIn open files — and streams each key's
+// concatenated values into the reducer, so peak memory is bounded by the
+// budget plus the largest single key group, regardless of how many pairs
+// the round shuffles.
+
+// mergeFanIn caps how many run files one merge pass reads at once. Runs
+// are closed after writing and reopened by the merge, so the engine never
+// holds more than mergeFanIn descriptors per worker (plus one writer), no
+// matter how many runs a tiny budget produces.
+const mergeFanIn = 32
+
+// Per-entry overheads added to the codec size estimates: a map bucket plus
+// value-slice header per distinct key, and a slice slot plus growth slack
+// per buffered value.
+const (
+	spillKeyOverhead  = 64
+	spillPairOverhead = 16
+)
+
+// spiller owns one reduce worker's run files and spill accounting. Run
+// files are closed as soon as they are written and reopened by the merge,
+// so only one descriptor is open while spilling.
+type spiller[K comparable, V any] struct {
+	codec Codec[K, V]
+	dir   string
+	paths []string // written run files, in creation order
+
+	// Spill metrics, folded into the job Metrics by the worker.
+	pairs, bytes, runs int64
+}
+
+func newSpiller[K comparable, V any](codec Codec[K, V], dir string) *spiller[K, V] {
+	return &spiller[K, V]{codec: codec, dir: dir}
+}
+
+// cleanup removes every remaining run file. Safe to call twice; the worker
+// defers it so files never outlive the job, even on errors.
+func (s *spiller[K, V]) cleanup() {
+	for _, p := range s.paths {
+		os.Remove(p)
+	}
+	s.paths = nil
+}
+
+// spill writes groups as one sorted run file. Record layout, repeated until
+// EOF, with every length a uvarint:
+//
+//	klen | key bytes | nvals | nvals × (vlen | value bytes)
+//
+// Keys appear once per run, ordered by their encoded bytes.
+func (s *spiller[K, V]) spill(groups map[K][]V) error {
+	type entry struct {
+		kb []byte
+		vs []V
+	}
+	entries := make([]entry, 0, len(groups))
+	for k, vs := range groups {
+		entries = append(entries, entry{s.codec.AppendKey(nil, k), vs})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].kb, entries[j].kb) < 0
+	})
+
+	f, err := os.CreateTemp(s.dir, "sgmr-spill-*.run")
+	if err != nil {
+		return fmt.Errorf("mapreduce: creating spill file: %w", err)
+	}
+	w := &runWriter{bw: bufio.NewWriterSize(f, 1<<16)}
+	var scratch []byte
+	for _, e := range entries {
+		w.writeBytes(e.kb)
+		w.writeUvarint(uint64(len(e.vs)))
+		for _, v := range e.vs {
+			scratch = s.codec.AppendValue(scratch[:0], v)
+			w.writeBytes(scratch)
+		}
+		s.pairs += int64(len(e.vs))
+	}
+	err = w.flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("mapreduce: writing spill file: %w", err)
+	}
+	s.paths = append(s.paths, f.Name())
+	s.bytes += w.n
+	s.runs++
+	return nil
+}
+
+// mergeReduce merges every run and streams each key's values into reduce in
+// ascending encoded-key order. It returns the number of distinct keys and
+// the largest group, matching what the in-memory path would have reported.
+func (s *spiller[K, V]) mergeReduce(reduce func(k K, vs []V)) (distinct, maxIn int64, err error) {
+	// Intermediate passes: fold the oldest mergeFanIn runs into one until
+	// the final merge fits the fan-in cap.
+	for len(s.paths) > mergeFanIn {
+		np, err := s.compact(s.paths[:mergeFanIn])
+		if err != nil {
+			return 0, 0, err
+		}
+		s.paths = append(s.paths[mergeFanIn:], np)
+	}
+	m, err := newMerger(s.paths)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.paths = nil // merger owns and removes them
+	defer m.close()
+	var vs []V
+	for {
+		kb, vals, err := m.nextGroup()
+		if err != nil {
+			return 0, 0, err
+		}
+		if kb == nil {
+			return distinct, maxIn, nil
+		}
+		k, err := s.codec.DecodeKey(kb)
+		if err != nil {
+			return 0, 0, fmt.Errorf("mapreduce: decoding spilled key: %w", err)
+		}
+		vs = vs[:0]
+		for _, vb := range vals {
+			v, err := s.codec.DecodeValue(vb)
+			if err != nil {
+				return 0, 0, fmt.Errorf("mapreduce: decoding spilled value: %w", err)
+			}
+			vs = append(vs, v)
+		}
+		distinct++
+		if n := int64(len(vs)); n > maxIn {
+			maxIn = n
+		}
+		reduce(k, vs)
+	}
+}
+
+// compact merges the given runs into one new run file, whose path it
+// returns. No decoding happens: groups are re-emitted with their raw value
+// bytes, values of equal keys concatenated. The input files are consumed.
+func (s *spiller[K, V]) compact(paths []string) (string, error) {
+	m, err := newMerger(paths)
+	if err != nil {
+		return "", err
+	}
+	defer m.close()
+	f, err := os.CreateTemp(s.dir, "sgmr-spill-*.run")
+	if err != nil {
+		return "", fmt.Errorf("mapreduce: creating spill file: %w", err)
+	}
+	w := &runWriter{bw: bufio.NewWriterSize(f, 1<<16)}
+	for {
+		kb, vals, err := m.nextGroup()
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return "", err
+		}
+		if kb == nil {
+			break
+		}
+		w.writeBytes(kb)
+		w.writeUvarint(uint64(len(vals)))
+		for _, vb := range vals {
+			w.writeBytes(vb)
+		}
+	}
+	err = w.flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return "", fmt.Errorf("mapreduce: writing spill file: %w", err)
+	}
+	s.bytes += w.n
+	s.runs++
+	return f.Name(), nil
+}
+
+// runWriter writes length-prefixed records, counting bytes and deferring
+// error checks to flush (bufio.Writer remembers the first error).
+type runWriter struct {
+	bw  *bufio.Writer
+	n   int64
+	hdr [binary.MaxVarintLen64]byte
+}
+
+func (w *runWriter) writeUvarint(x uint64) {
+	n := binary.PutUvarint(w.hdr[:], x)
+	w.bw.Write(w.hdr[:n])
+	w.n += int64(n)
+}
+
+func (w *runWriter) writeBytes(b []byte) {
+	w.writeUvarint(uint64(len(b)))
+	w.bw.Write(b)
+	w.n += int64(len(b))
+}
+
+func (w *runWriter) flush() error { return w.bw.Flush() }
+
+// runCursor reads one run file record by record.
+type runCursor struct {
+	f   *os.File
+	br  *bufio.Reader
+	key []byte // current record's key
+	nv  int    // values of the current record not yet read
+	ord int    // heap tie-break: run creation order
+}
+
+// next loads the following record header; false means clean EOF.
+func (c *runCursor) next() (bool, error) {
+	klen, err := binary.ReadUvarint(c.br)
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("mapreduce: reading spill run: %w", err)
+	}
+	if uint64(cap(c.key)) < klen {
+		c.key = make([]byte, klen)
+	} else {
+		c.key = c.key[:klen]
+	}
+	if _, err := io.ReadFull(c.br, c.key); err != nil {
+		return false, fmt.Errorf("mapreduce: reading spill run: %w", err)
+	}
+	nv, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return false, fmt.Errorf("mapreduce: reading spill run: %w", err)
+	}
+	c.nv = int(nv)
+	return true, nil
+}
+
+// value reads the next raw value of the current record.
+func (c *runCursor) value() ([]byte, error) {
+	vlen, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: reading spill run: %w", err)
+	}
+	vb := make([]byte, vlen)
+	if _, err := io.ReadFull(c.br, vb); err != nil {
+		return nil, fmt.Errorf("mapreduce: reading spill run: %w", err)
+	}
+	c.nv--
+	return vb, nil
+}
+
+// cursorHeap orders cursors by encoded key bytes (run order as tie-break,
+// which keeps value order deterministic given the same runs).
+type cursorHeap []*runCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].key, h[j].key); c != 0 {
+		return c < 0
+	}
+	return h[i].ord < h[j].ord
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(*runCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	c := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return c
+}
+
+// merger streams merged key groups out of a set of run files. It takes
+// ownership of the files: it opens each, and closes and removes all of
+// them in close.
+type merger struct {
+	h   cursorHeap
+	kb  []byte
+	all []*runCursor
+}
+
+func newMerger(paths []string) (*merger, error) {
+	// On error the spiller's deferred cleanup still owns every path (the
+	// caller only drops them from its list on success), so close() here
+	// only needs to release descriptors; double-removal is harmless.
+	m := &merger{}
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			m.close()
+			return nil, fmt.Errorf("mapreduce: reopening spill run: %w", err)
+		}
+		c := &runCursor{f: f, br: bufio.NewReaderSize(f, 1<<16), ord: i}
+		m.all = append(m.all, c)
+		more, err := c.next()
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		if more {
+			m.h = append(m.h, c)
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *merger) close() {
+	for _, c := range m.all {
+		c.f.Close()
+		os.Remove(c.f.Name())
+	}
+	m.all = nil
+	m.h = nil
+}
+
+// nextGroup returns the smallest remaining key (by encoded bytes) and the
+// raw encodings of all its values across every run. A nil key signals the
+// end of the merge. The returned slices are valid until the next call.
+func (m *merger) nextGroup() ([]byte, [][]byte, error) {
+	if m.h.Len() == 0 {
+		return nil, nil, nil
+	}
+	m.kb = append(m.kb[:0], m.h[0].key...)
+	var vals [][]byte
+	for m.h.Len() > 0 && bytes.Equal(m.h[0].key, m.kb) {
+		c := m.h[0]
+		for c.nv > 0 {
+			vb, err := c.value()
+			if err != nil {
+				return nil, nil, err
+			}
+			vals = append(vals, vb)
+		}
+		more, err := c.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if more {
+			heap.Fix(&m.h, 0)
+		} else {
+			heap.Pop(&m.h)
+		}
+	}
+	return m.kb, vals, nil
+}

@@ -1,0 +1,248 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestDefaultCodecRoundTrip exercises every encoding path of DefaultCodec:
+// raw strings, fixed-width integers, binary fixed-size structs, and the gob
+// fallback for slice-bearing types.
+func TestDefaultCodecRoundTrip(t *testing.T) {
+	t.Run("string-int64", func(t *testing.T) {
+		c := DefaultCodec[string, int64]()
+		for _, k := range []string{"", "a", "hello world", string([]byte{0, 1, 255})} {
+			kb := c.AppendKey(nil, k)
+			got, err := c.DecodeKey(kb)
+			if err != nil || got != k {
+				t.Fatalf("key %q round-tripped to %q, %v", k, got, err)
+			}
+		}
+		for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+			vb := c.AppendValue(nil, v)
+			got, err := c.DecodeValue(vb)
+			if err != nil || got != v {
+				t.Fatalf("value %d round-tripped to %d, %v", v, got, err)
+			}
+		}
+	})
+	t.Run("fixed-struct", func(t *testing.T) {
+		type edge struct{ U, V int32 }
+		c := DefaultCodec[[2]int64, edge]()
+		k := [2]int64{-5, 9}
+		kk, err := c.DecodeKey(c.AppendKey(nil, k))
+		if err != nil || kk != k {
+			t.Fatalf("key %v round-tripped to %v, %v", k, kk, err)
+		}
+		v := edge{7, -3}
+		vv, err := c.DecodeValue(c.AppendValue(nil, v))
+		if err != nil || vv != v {
+			t.Fatalf("value %v round-tripped to %v, %v", v, vv, err)
+		}
+	})
+	t.Run("gob-fallback", func(t *testing.T) {
+		type item struct {
+			Path []int64
+			Tag  string
+		}
+		c := DefaultCodec[string, item]()
+		v := item{Path: []int64{3, 1, 4}, Tag: "x"}
+		vv, err := c.DecodeValue(c.AppendValue(nil, v))
+		if err != nil || vv.Tag != v.Tag || len(vv.Path) != 3 || vv.Path[2] != 4 {
+			t.Fatalf("value %+v round-tripped to %+v, %v", v, vv, err)
+		}
+	})
+	t.Run("key-encoding-injective", func(t *testing.T) {
+		c := DefaultCodec[int, int]()
+		seen := map[string]int{}
+		for k := -100; k < 100; k++ {
+			kb := string(c.AppendKey(nil, k))
+			if prev, dup := seen[kb]; dup {
+				t.Fatalf("keys %d and %d share encoding %q", prev, k, kb)
+			}
+			seen[kb] = k
+		}
+	})
+}
+
+// TestSizerCountsBackingData pins the budget estimator's contract: values
+// that reference heap data (slice backing arrays, strings) are charged for
+// it, so MemoryBudget keeps bounding memory for slice-bearing value types
+// like the multijoin cascade's partial paths.
+func TestSizerCountsBackingData(t *testing.T) {
+	type item struct {
+		Path []int64
+		Tag  string
+	}
+	sz := sizerFor[item]()
+	small := sz(item{Path: make([]int64, 1)})
+	big := sz(item{Path: make([]int64, 1000), Tag: strings.Repeat("x", 500)})
+	if big-small < 999*8+500 {
+		t.Errorf("estimator ignores backing data: small=%d big=%d", small, big)
+	}
+	fixed := sizerFor[[2]int64]()
+	if got := fixed([2]int64{}); got != 16 {
+		t.Errorf("fixed-size estimate = %d, want 16", got)
+	}
+	str := sizerFor[string]()
+	if got := str("hello"); got < 5 {
+		t.Errorf("string estimate = %d, want >= len", got)
+	}
+}
+
+// spillJob is the reference word-count job used by the spill tests.
+func spillJob() Job[string, string, int64, string] {
+	return Job[string, string, int64, string]{Map: wordMapper, Reduce: sumReducer}
+}
+
+// TestSpillMatchesInMemory is the external-shuffle contract: identical
+// outputs and core metrics with and without a (tiny) memory budget, and a
+// budget small enough must actually spill.
+func TestSpillMatchesInMemory(t *testing.T) {
+	inputs := corpus(400)
+	want, wantM := spillJob().Run(Config{Parallelism: 4}, inputs)
+	sort.Strings(want)
+	for _, budget := range []int64{1, 256, 4096, 1 << 20} {
+		got, gotM := spillJob().Run(Config{Parallelism: 4, MemoryBudget: budget}, inputs)
+		sort.Strings(got)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("budget %d: outputs differ from in-memory run", budget)
+		}
+		if gotM.KeyValuePairs != wantM.KeyValuePairs ||
+			gotM.DistinctKeys != wantM.DistinctKeys ||
+			gotM.MaxReducerInput != wantM.MaxReducerInput ||
+			gotM.ReducerWork != wantM.ReducerWork ||
+			gotM.Outputs != wantM.Outputs {
+			t.Errorf("budget %d: core metrics %+v, want %+v", budget, gotM, wantM)
+		}
+		if budget <= 4096 && gotM.SpilledPairs == 0 {
+			t.Errorf("budget %d: expected spilling, got none", budget)
+		}
+		if gotM.SpilledPairs > 0 && (gotM.SpillBytes == 0 || gotM.SpillFiles == 0) {
+			t.Errorf("budget %d: inconsistent spill metrics %+v", budget, gotM)
+		}
+	}
+}
+
+// TestSpillManyRuns drives the run count far past the merge fan-in so the
+// intermediate compaction passes execute.
+func TestSpillManyRuns(t *testing.T) {
+	inputs := make([]int, 20000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	job := Job[int, int, int, int]{
+		Map: func(x int, emit func(int, int)) { emit(x%501, x) },
+		Reduce: func(_ *Context, k int, vs []int, emit func(int)) {
+			s := k
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+	}
+	want, _ := job.Run(Config{Parallelism: 2, Partitions: 2}, inputs)
+	// ~2 partitions × 10000 pairs × ~88 bytes estimated vs a 4 KiB budget
+	// yields hundreds of runs per partition.
+	got, m := job.Run(Config{Parallelism: 2, Partitions: 2, MemoryBudget: 4096}, inputs)
+	sort.Ints(want)
+	sort.Ints(got)
+	if len(got) != len(want) {
+		t.Fatalf("%d outputs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outputs differ at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if m.SpillFiles <= 2*mergeFanIn {
+		t.Fatalf("test meant to exceed the merge fan-in, created only %d runs", m.SpillFiles)
+	}
+}
+
+// TestSpillFilesRemoved checks that no run files survive the job.
+func TestSpillFilesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	_, m := spillJob().Run(Config{Parallelism: 2, MemoryBudget: 512, SpillDir: dir}, corpus(300))
+	if m.SpilledPairs == 0 {
+		t.Fatal("expected the tiny budget to spill")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "sgmr-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("%d spill files left behind: %v", len(left), left)
+	}
+}
+
+// TestSpillWithCombiner checks that mapper-side combining composes with the
+// reducer-side external shuffle.
+func TestSpillWithCombiner(t *testing.T) {
+	inputs := corpus(300)
+	job := spillJob()
+	job.Combine = SumCombiner[string]
+	want, _ := spillJob().Run(Config{Parallelism: 3}, inputs)
+	got, m := job.Run(Config{Parallelism: 3, CombinerBuffer: 8, MemoryBudget: 64}, inputs)
+	sort.Strings(want)
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatal("combined+spilled outputs differ from the plain run")
+	}
+	if m.SpilledPairs == 0 {
+		t.Error("expected the 64-byte budget to spill even after combining")
+	}
+}
+
+// TestSpillChain runs a two-round chain entirely under a tiny budget and
+// checks the summed spill metrics surface through Chain.Total.
+func TestSpillChain(t *testing.T) {
+	inputs := make([]int, 500)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	c := NewChain(Config{Parallelism: 2, MemoryBudget: 256})
+	sums := RunRound(c, Job[int, int, int, int]{
+		Map: func(x int, emit func(int, int)) { emit(x%50, x) },
+		Reduce: func(_ *Context, _ int, vs []int, emit func(int)) {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+	}, inputs)
+	RunRound(c, Job[int, bool, int, int]{
+		Map: func(s int, emit func(bool, int)) { emit(s%2 == 0, s) },
+		Reduce: func(_ *Context, _ bool, vs []int, emit func(int)) {
+			emit(len(vs))
+		},
+	}, sums)
+	total := c.Total()
+	if total.SpilledPairs == 0 || total.SpillFiles == 0 {
+		t.Errorf("chained rounds under a 256-byte budget reported no spilling: %+v", total)
+	}
+}
+
+// TestSpillBadDir checks the documented failure mode: an unusable spill
+// directory panics Run with a descriptive error.
+func TestSpillBadDir(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected Run to panic on an unusable spill dir")
+		}
+		if !strings.Contains(fmt.Sprint(r), "external shuffle failed") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	spillJob().Run(Config{
+		Parallelism:  1,
+		MemoryBudget: 64,
+		SpillDir:     filepath.Join(os.TempDir(), "sgmr-definitely-missing", "nested"),
+	}, corpus(100))
+}

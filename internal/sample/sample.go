@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"subgraphmr/internal/graph"
 	"subgraphmr/internal/perm"
@@ -23,7 +24,8 @@ type Sample struct {
 	edges [][2]int // i < j, sorted
 	names []string
 
-	auts []perm.Perm // cached automorphism group
+	autOnce sync.Once
+	auts    []perm.Perm // cached automorphism group, computed under autOnce
 }
 
 // New builds a sample graph with p nodes and the given undirected edges.
@@ -127,11 +129,11 @@ func (s *Sample) IsRegular() (int, bool) {
 	return d, true
 }
 
-// Automorphisms returns the automorphism group of the sample graph (cached).
+// Automorphisms returns the automorphism group of the sample graph,
+// computed once and cached. Safe for concurrent use — reducers of a
+// parallel enumeration call it on a shared Sample.
 func (s *Sample) Automorphisms() []perm.Perm {
-	if s.auts == nil {
-		s.auts = perm.Automorphisms(s.adj)
-	}
+	s.autOnce.Do(func() { s.auts = perm.Automorphisms(s.adj) })
 	return s.auts
 }
 

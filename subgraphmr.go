@@ -20,8 +20,11 @@
 //     exposes the CQ generation of Sections 3 and 5 and the share
 //     optimization of Section 4 for planning without running a job.
 //   - The pipelined engine itself is programmable: build custom rounds
-//     with MapReduceJob (optional combiner and partitioner) and compose
-//     multi-round jobs with NewChain/RunRound; see docs/ARCHITECTURE.md.
+//     with MapReduceJob (optional combiner, partitioner and spill codec)
+//     and compose multi-round jobs with NewChain/RunRound. Setting
+//     EngineConfig.MemoryBudget bounds reduce-worker memory — beyond it
+//     the engine spills sorted runs to disk and merge-streams them into
+//     the reducers; see docs/ARCHITECTURE.md.
 //
 // Every enumeration method produces each instance exactly once; instances
 // are reported as assignments of data nodes to sample variables.
@@ -103,9 +106,22 @@ const (
 )
 
 // MapReduceJob is one round of the pipelined engine: Map and Reduce are
-// required; Combine (pre-shuffle aggregation) and Partition (key routing)
-// are optional. Run it directly or as a Chain round via RunRound.
+// required; Combine (pre-shuffle aggregation), Partition (key routing) and
+// Codec (spill serialization under EngineConfig.MemoryBudget) are
+// optional. Run it directly or as a Chain round via RunRound.
 type MapReduceJob[I any, K comparable, V any, O any] = mapreduce.Job[I, K, V, O]
+
+// SpillCodec serializes keys and values for the external shuffle's spill
+// runs; see mapreduce.Codec for the contract (deterministic, injective key
+// encodings). DefaultSpillCodec covers any gob-encodable pair.
+type SpillCodec[K comparable, V any] = mapreduce.Codec[K, V]
+
+// DefaultSpillCodec builds the codec the engine uses when a job sets none:
+// raw bytes for strings, big-endian words for integer kinds,
+// encoding/binary for fixed-size types, gob for everything else.
+func DefaultSpillCodec[K comparable, V any]() SpillCodec[K, V] {
+	return mapreduce.DefaultCodec[K, V]()
+}
 
 // NewChain returns a Chain whose rounds run under cfg.
 func NewChain(cfg EngineConfig) *Chain { return mapreduce.NewChain(cfg) }
