@@ -12,9 +12,17 @@ import (
 // Key encodings must be deterministic and injective: equal keys always
 // produce equal bytes and distinct keys distinct bytes, because the external
 // merge groups spilled pairs by comparing encoded keys. Value encodings only
-// need to round-trip. DefaultCodec satisfies both for any gob-encodable
-// type; supply a custom Codec on Job.Codec when the default is too slow for
-// a hot value type or the type is not gob-encodable.
+// need to round-trip. DefaultCodec satisfies both for gob-encodable value
+// types, with key-type exclusions: keys compared by identity (pointers, or
+// interfaces holding them) encode their pointees, so two distinct pointer
+// keys with equal pointees collide; float keys containing NaN (distinct
+// under ==, but encoding equal bytes) collapse into one group; and +0.0 and
+// -0.0 float keys (equal under ==, but encoding distinct bytes) can split
+// one group in two. Any of these would make a spilled run group differently
+// than the in-memory map, so give such jobs a Codec with an
+// identity-faithful key encoding, or avoid spilling them. Supply a custom
+// Codec on Job.Codec likewise when the default is too slow for a hot value
+// type or the type is not gob-encodable.
 type Codec[K comparable, V any] interface {
 	// AppendKey appends the encoding of k to dst and returns the result.
 	AppendKey(dst []byte, k K) []byte

@@ -88,7 +88,10 @@ func (c *Context) AddWork(n int64) { c.work += n }
 // Mapper transforms one input element into key-value pairs via emit.
 type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
 
-// Reducer consumes all values grouped under one key.
+// Reducer consumes all values grouped under one key. The values slice is
+// only valid for the duration of the call — the engine may reuse its backing
+// array for the next group (the external shuffle does) — so a reducer that
+// wants to keep values past its return must copy them.
 type Reducer[K comparable, V any, O any] func(ctx *Context, key K, values []V, emit func(O))
 
 // Combiner performs pre-shuffle aggregation on a mapper's local pairs: it

@@ -129,11 +129,11 @@ func (s *spiller[K, V]) mergeReduce(reduce func(k K, vs []V)) (distinct, maxIn i
 	defer m.close()
 	var vs []V
 	for {
-		kb, vals, err := m.nextGroup()
+		kb, vals, ok, err := m.nextGroup()
 		if err != nil {
 			return 0, 0, err
 		}
-		if kb == nil {
+		if !ok {
 			return distinct, maxIn, nil
 		}
 		k, err := s.codec.DecodeKey(kb)
@@ -171,13 +171,13 @@ func (s *spiller[K, V]) compact(paths []string) (string, error) {
 	}
 	w := &runWriter{bw: bufio.NewWriterSize(f, 1<<16)}
 	for {
-		kb, vals, err := m.nextGroup()
+		kb, vals, ok, err := m.nextGroup()
 		if err != nil {
 			f.Close()
 			os.Remove(f.Name())
 			return "", err
 		}
-		if kb == nil {
+		if !ok {
 			break
 		}
 		w.writeBytes(kb)
@@ -334,26 +334,27 @@ func (m *merger) close() {
 }
 
 // nextGroup returns the smallest remaining key (by encoded bytes) and the
-// raw encodings of all its values across every run. A nil key signals the
-// end of the merge. The returned slices are valid until the next call.
-func (m *merger) nextGroup() ([]byte, [][]byte, error) {
+// raw encodings of all its values across every run. ok is false once the
+// merge is exhausted — the key cannot double as the sentinel because a
+// legitimate key may encode to zero bytes (e.g. the empty string under
+// DefaultCodec). The returned slices are valid until the next call.
+func (m *merger) nextGroup() (kb []byte, vals [][]byte, ok bool, err error) {
 	if m.h.Len() == 0 {
-		return nil, nil, nil
+		return nil, nil, false, nil
 	}
 	m.kb = append(m.kb[:0], m.h[0].key...)
-	var vals [][]byte
 	for m.h.Len() > 0 && bytes.Equal(m.h[0].key, m.kb) {
 		c := m.h[0]
 		for c.nv > 0 {
 			vb, err := c.value()
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, false, err
 			}
 			vals = append(vals, vb)
 		}
 		more, err := c.next()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		if more {
 			heap.Fix(&m.h, 0)
@@ -361,5 +362,5 @@ func (m *merger) nextGroup() ([]byte, [][]byte, error) {
 			heap.Pop(&m.h)
 		}
 	}
-	return m.kb, vals, nil
+	return m.kb, vals, true, nil
 }

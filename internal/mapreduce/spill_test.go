@@ -128,6 +128,32 @@ func TestSpillMatchesInMemory(t *testing.T) {
 	}
 }
 
+// TestSpillEmptyStringKey pins the regression where a key whose encoding is
+// zero bytes (the empty string under DefaultCodec) was mistaken for the
+// merger's end-of-merge sentinel, silently dropping every spilled group.
+func TestSpillEmptyStringKey(t *testing.T) {
+	job := Job[string, string, int64, string]{
+		Map: func(line string, emit func(string, int64)) {
+			emit(line, 1) // "" is a legitimate key
+		},
+		Reduce: sumReducer,
+	}
+	inputs := []string{"", "x", "", "x", ""}
+	want, _ := job.Run(Config{Parallelism: 1}, inputs)
+	got, m := job.Run(Config{Parallelism: 1, MemoryBudget: 1}, inputs)
+	if m.SpilledPairs == 0 {
+		t.Fatal("expected the 1-byte budget to spill")
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("spilled run dropped groups: got %q, want %q", got, want)
+	}
+	if m.DistinctKeys != 2 {
+		t.Errorf("DistinctKeys = %d, want 2", m.DistinctKeys)
+	}
+}
+
 // TestSpillManyRuns drives the run count far past the merge fan-in so the
 // intermediate compaction passes execute.
 func TestSpillManyRuns(t *testing.T) {
