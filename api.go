@@ -1,0 +1,165 @@
+package subgraphmr
+
+import (
+	"fmt"
+
+	"subgraphmr/internal/core"
+	"subgraphmr/internal/mapreduce"
+)
+
+// PlanStrategy names an execution strategy the planner can choose. The
+// zero value StrategyAuto lets Plan pick the strategy with the lowest
+// estimated communication cost for the given sample, data graph and
+// reducer budget.
+type PlanStrategy int
+
+const (
+	// StrategyAuto lets the planner choose (the default).
+	StrategyAuto PlanStrategy = iota
+	// StrategyBucketOriented is the Section 4.5 strategy: one hash, equal
+	// buckets per variable, reducers keyed by nondecreasing bucket
+	// multisets.
+	StrategyBucketOriented
+	// StrategyVariableOriented is the Section 4.3 strategy: one job for
+	// all CQs with optimized shares.
+	StrategyVariableOriented
+	// StrategyCQOriented is the Section 4.1 strategy: one job per merged
+	// CQ, each with its own optimal shares.
+	StrategyCQOriented
+	// StrategyDecomposed is the Theorem 6.1 conversion of the Theorem 7.2
+	// serial decomposition algorithm to one map-reduce round.
+	StrategyDecomposed
+	// StrategyTwoRound is the conventional cascade of two-way joins
+	// (triangle samples only) — the baseline the paper argues against.
+	StrategyTwoRound
+	// StrategyTrianglePartition is the Suri–Vassilvitskii Partition
+	// algorithm (Section 2.1, triangle samples only).
+	StrategyTrianglePartition
+	// StrategyTriangleMultiway is the plain multiway join (Section 2.2,
+	// triangle samples only).
+	StrategyTriangleMultiway
+	// StrategyTriangleBucketOrdered is the paper's improved triangle
+	// algorithm (Section 2.3, triangle samples only).
+	StrategyTriangleBucketOrdered
+)
+
+func (st PlanStrategy) String() string {
+	switch st {
+	case StrategyAuto:
+		return "auto"
+	case StrategyBucketOriented:
+		return "bucket-oriented"
+	case StrategyVariableOriented:
+		return "variable-oriented"
+	case StrategyCQOriented:
+		return "cq-oriented"
+	case StrategyDecomposed:
+		return "decomposed"
+	case StrategyTwoRound:
+		return "two-round-cascade"
+	case StrategyTrianglePartition:
+		return "triangle-partition"
+	case StrategyTriangleMultiway:
+		return "triangle-multiway"
+	case StrategyTriangleBucketOrdered:
+		return "triangle-bucket-ordered"
+	}
+	return fmt.Sprintf("strategy(%d)", int(st))
+}
+
+// MarshalText renders the strategy name, so plans and results are readable
+// when marshalled to JSON (cmd/sgmr -json).
+func (st PlanStrategy) MarshalText() ([]byte, error) { return []byte(st.String()), nil }
+
+// Option configures Plan. The one option set covers every execution path —
+// all strategies honor the engine knobs (parallelism, partitions, memory
+// budget, spill dir) and the planning knobs they support.
+type Option func(*planOpts)
+
+// planOpts is the unified configuration behind the functional options —
+// the single replacement for the former core.Options / directed.Options /
+// TwoRoundTrianglesConfig / raw mapreduce.Config split.
+type planOpts struct {
+	strategy       PlanStrategy
+	targetReducers int
+	buckets        int
+	cycleCQs       bool
+	countOnly      bool
+	seed           uint64
+	parallelism    int
+	partitions     int
+	memoryBudget   int64
+	spillDir       string
+}
+
+func defaultPlanOpts() planOpts {
+	return planOpts{strategy: StrategyAuto, targetReducers: 1024}
+}
+
+// WithStrategy forces a specific strategy instead of letting the planner
+// choose. Triangle-only strategies error at Plan time for other samples.
+func WithStrategy(st PlanStrategy) Option { return func(o *planOpts) { o.strategy = st } }
+
+// WithTargetReducers sets the reducer budget k (default 1024): share-based
+// strategies optimize shares for it, bucket-based strategies pick the
+// largest b whose useful-reducer count stays within it.
+func WithTargetReducers(k int) Option { return func(o *planOpts) { o.targetReducers = k } }
+
+// WithBuckets overrides the bucket count b for bucket-based strategies,
+// bypassing the TargetReducers derivation.
+func WithBuckets(b int) Option { return func(o *planOpts) { o.buckets = b } }
+
+// WithCycleCQs selects the Section 5 run-sequence CQ generator (cycle
+// samples only; fewer CQs than the general method).
+func WithCycleCQs() Option { return func(o *planOpts) { o.cycleCQs = true } }
+
+// WithCountOnly makes Run count instances without materializing them
+// (Result.Instances stays nil; Result.Count is exact). Ignored by
+// Instances/Stream, which never materialize.
+func WithCountOnly() Option { return func(o *planOpts) { o.countOnly = true } }
+
+// WithSeed seeds the bucket hashes; runs are deterministic given a seed.
+func WithSeed(seed uint64) Option { return func(o *planOpts) { o.seed = seed } }
+
+// WithParallelism bounds map worker goroutines (0 = GOMAXPROCS).
+func WithParallelism(workers int) Option { return func(o *planOpts) { o.parallelism = workers } }
+
+// WithPartitions sets the number of shuffle partitions / reduce workers
+// (0 = parallelism). Scheduling only; metrics are unaffected.
+func WithPartitions(p int) Option { return func(o *planOpts) { o.partitions = p } }
+
+// WithMemoryBudget bounds, in bytes, the grouped intermediate pairs the
+// reduce workers hold in memory; beyond it the engine spills sorted runs
+// to disk and merge-streams them into the reducers.
+func WithMemoryBudget(bytes int64) Option { return func(o *planOpts) { o.memoryBudget = bytes } }
+
+// WithSpillDir sets the directory for spill run files ("" = system temp).
+func WithSpillDir(dir string) Option { return func(o *planOpts) { o.spillDir = dir } }
+
+// engineConfig translates the unified options into an engine Config.
+func (o planOpts) engineConfig() mapreduce.Config {
+	return mapreduce.Config{
+		Parallelism:  o.parallelism,
+		Partitions:   o.partitions,
+		MemoryBudget: o.memoryBudget,
+		SpillDir:     o.spillDir,
+	}
+}
+
+// coreOptions translates the unified options into the legacy core.Options
+// for the CQ-based strategies. buckets carries the planner's resolved
+// bucket count so execution matches the plan exactly.
+func (o planOpts) coreOptions(strategy core.Strategy, buckets int) core.Options {
+	return core.Options{
+		Strategy:       strategy,
+		TargetReducers: o.targetReducers,
+		Buckets:        buckets,
+		UseCycleCQs:    o.cycleCQs,
+		CountOnly:      o.countOnly,
+		Seed:           o.seed,
+		Parallelism:    o.parallelism,
+		Partitions:     o.partitions,
+		MemoryBudget:   o.memoryBudget,
+		SpillDir:       o.spillDir,
+	}
+}

@@ -3,19 +3,27 @@
 //
 // Usage:
 //
-//	sgmr -sample triangle -gen gnm -n 1000 -m 5000 [-strategy bucket] [-k 1024]
+//	sgmr -sample triangle -gen gnm -n 1000 -m 5000 [-strategy auto] [-k 1024]
 //	sgmr -sample lollipop -data graph.txt -strategy variable -k 500 -print
 //	sgmr -sample square -gen powerlaw -n 100000 -mem-budget 268435456
+//	sgmr -sample c5 -explain            # print the plan without running it
+//	sgmr -sample triangle -json         # machine-readable plan + result
 //
 // The data graph comes from -data (edge-list file; "-" for stdin) or from
 // a generator (-gen gnm|gnp|powerlaw|cycle|complete|grid|tree with -n, -m,
-// -p, -delta, -depth, -seed). Statistics (communication cost, reducers,
-// skew, reducer work) are always printed; -print also lists instances.
-// -mem-budget bounds the reduce workers' memory: above it the engine
-// spills sorted runs to disk and merge-streams them into the reducers.
+// -p, -delta, -depth, -seed). Map-reduce strategies run through the
+// cost-based planner (-strategy auto picks the cheapest); -explain prints
+// the chosen plan and the full candidate cost table without running it,
+// and -json emits the plan and result as JSON. Statistics (communication
+// cost, reducers, skew, reducer work) are always printed; -print also
+// lists instances. -mem-budget bounds the reduce workers' memory: above it
+// the engine spills sorted runs to disk and merge-streams them into the
+// reducers.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +50,20 @@ func main() {
 	}
 }
 
+// planStrategies maps the -strategy flag values that run through the
+// unified Plan/Run API.
+var planStrategies = map[string]subgraphmr.PlanStrategy{
+	"auto":          subgraphmr.StrategyAuto,
+	"bucket":        subgraphmr.StrategyBucketOriented,
+	"variable":      subgraphmr.StrategyVariableOriented,
+	"cq":            subgraphmr.StrategyCQOriented,
+	"mr-decompose":  subgraphmr.StrategyDecomposed,
+	"cascade":       subgraphmr.StrategyTwoRound,
+	"tri-partition": subgraphmr.StrategyTrianglePartition,
+	"tri-multiway":  subgraphmr.StrategyTriangleMultiway,
+	"tri-bucket":    subgraphmr.StrategyTriangleBucketOrdered,
+}
+
 // run executes one sgmr invocation, writing all reporting to out. It is
 // main minus the process plumbing, so tests can drive every strategy flag
 // in-process.
@@ -61,9 +83,9 @@ func run(args []string, out io.Writer) error {
 		rows       = fs.Int("rows", 20, "rows for grid generator")
 		cols       = fs.Int("cols", 20, "cols for grid generator")
 		genSeed    = fs.Int64("seed", 1, "generator seed")
-		strategy   = fs.String("strategy", "bucket", "strategy: bucket, variable, cq, mr-decompose, serial, serial-decompose, serial-degree, cascade (triangles), doulion (triangles)")
+		strategy   = fs.String("strategy", "bucket", "strategy: auto, bucket, variable, cq, mr-decompose, cascade, tri-partition, tri-multiway, tri-bucket, serial, serial-decompose, serial-degree, doulion (triangles)")
 		k          = fs.Int("k", 1024, "target reducers (share-based strategies) / bucket budget")
-		buckets    = fs.Int("b", 0, "bucket count override for the bucket strategy")
+		buckets    = fs.Int("b", 0, "bucket count override for the bucket strategies")
 		cyclesCQ   = fs.Bool("cyclecqs", false, "use the Section 5 cycle CQ generator (cycle samples only)")
 		countOnly  = fs.Bool("count", false, "count instances without materializing them")
 		hashSeed   = fs.Uint64("hashseed", 7, "bucket hash seed")
@@ -74,6 +96,8 @@ func run(args []string, out io.Writer) error {
 		partitions = fs.Int("partitions", 0, "shuffle partitions / reduce workers (0 = workers)")
 		memBudget  = fs.Int64("mem-budget", 0, "reduce-memory budget in bytes; exceeding it spills sorted runs to disk (0 = unlimited)")
 		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
+		explain    = fs.Bool("explain", false, "print the chosen plan and candidate costs without running")
+		jsonOut    = fs.Bool("json", false, "emit the plan and result as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -90,8 +114,22 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("loading data graph: %w", err)
 	}
-	fmt.Fprintf(out, "data graph: n=%d m=%d maxdeg=%d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
-	fmt.Fprintf(out, "sample: %v (p=%d, |Aut|=%d)\n", s, s.P(), len(s.Automorphisms()))
+	if !*jsonOut {
+		fmt.Fprintf(out, "data graph: n=%d m=%d maxdeg=%d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
+		fmt.Fprintf(out, "sample: %v (p=%d, |Aut|=%d)\n", s, s.P(), len(s.Automorphisms()))
+	}
+
+	if planStrategy, ok := planStrategies[*strategy]; ok {
+		return runPlanned(out, g, s, planStrategy, plannedOptions{
+			k: *k, buckets: *buckets, cycleCQs: *cyclesCQ, countOnly: *countOnly,
+			seed: *hashSeed, workers: *workers, partitions: *partitions,
+			memBudget: *memBudget, spillDir: *spillDir,
+			explain: *explain, jsonOut: *jsonOut, printAll: *printAll,
+		})
+	}
+	if *explain || *jsonOut {
+		return fmt.Errorf("-explain and -json require a map-reduce strategy (got %q)", *strategy)
+	}
 
 	var instances [][]subgraphmr.Node
 	switch *strategy {
@@ -112,27 +150,6 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "strategy: serial bounded-degree (Theorem 7.3), work=%d\n", work)
-	case "cascade":
-		if *sampleName != "triangle" {
-			return fmt.Errorf("the cascade baseline supports -sample triangle only")
-		}
-		res := subgraphmr.TwoRoundTrianglesConfig(g, subgraphmr.EngineConfig{
-			Parallelism:  *workers,
-			Partitions:   *partitions,
-			MemoryBudget: *memBudget,
-			SpillDir:     *spillDir,
-		})
-		fmt.Fprintf(out, "strategy: two-round cascade of two-way joins (baseline)\n")
-		for _, r := range res.Chain.Rounds {
-			fmt.Fprintf(out, "  round %q comm=%d reducers=%d maxload=%d\n",
-				r.Name, r.Metrics.KeyValuePairs, r.Metrics.DistinctKeys, r.Metrics.MaxReducerInput)
-		}
-		fmt.Fprintf(out, "  wedges materialized: %d\n", res.Wedges)
-		fmt.Fprintf(out, "  total comm=%d (%.2f/edge)\n", res.TotalComm(),
-			float64(res.TotalComm())/float64(g.NumEdges()))
-		printSpill(out, res.Chain.Total())
-		fmt.Fprintf(out, "instances found: %d\n", res.Count())
-		return nil
 	case "doulion":
 		if *sampleName != "triangle" {
 			return fmt.Errorf("the doulion baseline supports -sample triangle only")
@@ -141,97 +158,163 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "strategy: doulion probabilistic counting (q=%.2f, %d trials)\n", *doulionQ, *trials)
 		fmt.Fprintf(out, "estimated triangles: %.0f\n", est)
 		return nil
-	case "bucket", "variable", "cq", "mr-decompose":
-		opt := subgraphmr.Options{
-			TargetReducers: *k,
-			Buckets:        *buckets,
-			UseCycleCQs:    *cyclesCQ,
-			CountOnly:      *countOnly,
-			Seed:           *hashSeed,
-			Parallelism:    *workers,
-			Partitions:     *partitions,
-			MemoryBudget:   *memBudget,
-			SpillDir:       *spillDir,
-		}
-		var res *subgraphmr.Result
-		if *strategy == "mr-decompose" {
-			res, err = subgraphmr.EnumerateDecomposed(g, s, nil, opt)
-		} else {
-			switch *strategy {
-			case "bucket":
-				opt.Strategy = subgraphmr.BucketOriented
-			case "variable":
-				opt.Strategy = subgraphmr.VariableOriented
-			case "cq":
-				opt.Strategy = subgraphmr.CQOriented
-			}
-			res, err = subgraphmr.Enumerate(g, s, opt)
-		}
-		if err != nil {
-			return err
-		}
-		instances = res.Instances
-		label := opt.Strategy.String()
-		queries := fmt.Sprintf("%d CQ(s)", res.NumCQs)
-		if *strategy == "mr-decompose" {
-			label = "mr-decompose (Theorem 6.1 conversion)"
-			queries = "no CQs (decomposition-based)"
-		}
-		if *countOnly {
-			fmt.Fprintf(out, "strategy: %v (count-only), %s, %d job(s)\n", label, queries, len(res.Jobs))
-			fmt.Fprintf(out, "instances counted: %d\n", res.Count)
-		} else {
-			fmt.Fprintf(out, "strategy: %v, %s, %d job(s)\n", label, queries, len(res.Jobs))
-		}
-		var total subgraphmr.Metrics
-		for _, job := range res.Jobs {
-			fmt.Fprintf(out, "  job %q shares=%v\n", job.Label, job.Shares)
-			fmt.Fprintf(out, "    predicted comm/edge=%.2f (fractional optimum %.2f)\n",
-				job.PredictedCommPerEdge, job.OptimalCommPerEdge)
-			mt := job.Metrics
-			fmt.Fprintf(out, "    measured: comm=%d (%.2f/edge) reducers=%d maxload=%d work=%d\n",
-				mt.KeyValuePairs, float64(mt.KeyValuePairs)/float64(g.NumEdges()),
-				mt.DistinctKeys, mt.MaxReducerInput, mt.ReducerWork)
-			total.Add(mt)
-		}
-		fmt.Fprintf(out, "total communication: %d key-value pairs\n", res.TotalComm())
-		printSpill(out, total)
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
 	if *countOnly {
-		switch *strategy {
-		case "serial", "serial-decompose", "serial-degree":
-			// Serial strategies materialize regardless; report the count so
-			// -count output is uniform across strategies.
-			fmt.Fprintf(out, "instances counted: %d\n", len(instances))
-		}
+		// Serial strategies materialize regardless; report the count so
+		// -count output is uniform across strategies.
+		fmt.Fprintf(out, "instances counted: %d\n", len(instances))
 		return nil
 	}
 	fmt.Fprintf(out, "instances found: %d\n", len(instances))
 	if *printAll {
-		sorted := append([][]subgraphmr.Node(nil), instances...)
-		sort.Slice(sorted, func(i, j int) bool {
-			a, b := sorted[i], sorted[j]
-			for x := range a {
-				if a[x] != b[x] {
-					return a[x] < b[x]
-				}
-			}
-			return false
-		})
-		for _, phi := range sorted {
-			for i, u := range phi {
-				if i > 0 {
-					fmt.Fprint(out, " ")
-				}
-				fmt.Fprintf(out, "%s=%d", s.Name(i), u)
-			}
-			fmt.Fprintln(out)
-		}
+		printInstances(out, s, instances)
 	}
 	return nil
+}
+
+// plannedOptions carries the flag values for the Plan/Run path.
+type plannedOptions struct {
+	k, buckets          int
+	cycleCQs, countOnly bool
+	seed                uint64
+	workers, partitions int
+	memBudget           int64
+	spillDir            string
+	explain, jsonOut    bool
+	printAll            bool
+}
+
+// jsonDocument is the -json output shape: the plan (with every candidate
+// estimate) and, unless -explain suppressed execution, the result.
+type jsonDocument struct {
+	Graph struct {
+		Nodes, Edges, MaxDegree int
+	}
+	Sample    string
+	Plan      *subgraphmr.QueryPlan
+	Result    *jsonResult         `json:",omitempty"`
+	Instances [][]subgraphmr.Node `json:",omitempty"`
+}
+
+type jsonResult struct {
+	Count            int64
+	TotalComm        int64
+	TotalReducerWork int64
+	Jobs             []subgraphmr.JobStats
+}
+
+// runPlanned drives a map-reduce strategy through the unified
+// Plan/Run API: -explain stops after planning, -json switches the whole
+// report to one JSON document.
+func runPlanned(out io.Writer, g *subgraphmr.Graph, s *subgraphmr.Sample, st subgraphmr.PlanStrategy, o plannedOptions) error {
+	opts := []subgraphmr.Option{
+		subgraphmr.WithStrategy(st),
+		subgraphmr.WithTargetReducers(o.k),
+		subgraphmr.WithSeed(o.seed),
+		subgraphmr.WithParallelism(o.workers),
+		subgraphmr.WithPartitions(o.partitions),
+		subgraphmr.WithMemoryBudget(o.memBudget),
+		subgraphmr.WithSpillDir(o.spillDir),
+	}
+	if o.buckets > 0 {
+		opts = append(opts, subgraphmr.WithBuckets(o.buckets))
+	}
+	if o.cycleCQs {
+		opts = append(opts, subgraphmr.WithCycleCQs())
+	}
+	if o.countOnly {
+		opts = append(opts, subgraphmr.WithCountOnly())
+	}
+	plan, err := subgraphmr.Plan(g, s, opts...)
+	if err != nil {
+		return err
+	}
+
+	doc := jsonDocument{Sample: fmt.Sprint(s), Plan: plan}
+	doc.Graph.Nodes, doc.Graph.Edges, doc.Graph.MaxDegree = g.NumNodes(), g.NumEdges(), g.MaxDegree()
+
+	if o.explain {
+		if o.jsonOut {
+			return writeJSON(out, doc)
+		}
+		fmt.Fprint(out, plan.Explain())
+		return nil
+	}
+
+	res, err := subgraphmr.Run(context.Background(), plan)
+	if err != nil {
+		return err
+	}
+
+	if o.jsonOut {
+		doc.Result = &jsonResult{
+			Count:            res.Count,
+			TotalComm:        res.TotalComm(),
+			TotalReducerWork: res.TotalReducerWork(),
+			Jobs:             res.Jobs,
+		}
+		if o.printAll {
+			doc.Instances = res.Instances
+		}
+		return writeJSON(out, doc)
+	}
+
+	fmt.Fprintf(out, "strategy: %v, %d CQ(s), %d job(s)\n", plan.Strategy, plan.NumCQs, len(res.Jobs))
+	var total subgraphmr.Metrics
+	for _, job := range res.Jobs {
+		fmt.Fprintf(out, "  job %q shares=%v\n", job.Label, job.Shares)
+		fmt.Fprintf(out, "    predicted comm/edge=%.2f (fractional optimum %.2f)\n",
+			job.PredictedCommPerEdge, job.OptimalCommPerEdge)
+		mt := job.Metrics
+		fmt.Fprintf(out, "    measured: comm=%d (%.2f/edge) reducers=%d maxload=%d work=%d\n",
+			mt.KeyValuePairs, float64(mt.KeyValuePairs)/float64(g.NumEdges()),
+			mt.DistinctKeys, mt.MaxReducerInput, mt.ReducerWork)
+		total.Add(mt)
+	}
+	fmt.Fprintf(out, "total communication: %d key-value pairs\n", res.TotalComm())
+	printSpill(out, total)
+	if o.countOnly {
+		fmt.Fprintf(out, "instances counted: %d\n", res.Count)
+		return nil
+	}
+	fmt.Fprintf(out, "instances found: %d\n", res.Count)
+	if o.printAll {
+		printInstances(out, s, res.Instances)
+	}
+	return nil
+}
+
+func writeJSON(out io.Writer, doc jsonDocument) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// printInstances lists instances sorted lexicographically, one variable
+// assignment per line.
+func printInstances(out io.Writer, s *subgraphmr.Sample, instances [][]subgraphmr.Node) {
+	sorted := append([][]subgraphmr.Node(nil), instances...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	for _, phi := range sorted {
+		for i, u := range phi {
+			if i > 0 {
+				fmt.Fprint(out, " ")
+			}
+			fmt.Fprintf(out, "%s=%d", s.Name(i), u)
+		}
+		fmt.Fprintln(out)
+	}
 }
 
 // printSpill reports external-shuffle activity when a memory budget was in

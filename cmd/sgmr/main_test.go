@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -120,6 +121,115 @@ func TestDataFileRoundTrip(t *testing.T) {
 	out := runSGMR(t, "-data", path, "-strategy", "bucket", "-k", "16")
 	if got := foundCount(t, out); got != 2 {
 		t.Errorf("two triangles in the file, strategy found %d\n%s", got, out)
+	}
+}
+
+// TestAutoStrategyAgrees checks -strategy auto (planner-chosen) and the
+// explicit triangle algorithm flags report the oracle's count.
+func TestAutoStrategyAgrees(t *testing.T) {
+	want := foundCount(t, runSGMR(t, append([]string{"-strategy", "serial"}, graphArgs...)...))
+	for _, strategy := range []string{"auto", "tri-partition", "tri-multiway", "tri-bucket"} {
+		out := runSGMR(t, append([]string{"-strategy", strategy, "-k", "64"}, graphArgs...)...)
+		if got := foundCount(t, out); got != want {
+			t.Errorf("%s: %d instances, serial found %d\n%s", strategy, got, want, out)
+		}
+	}
+}
+
+// TestExplainFlag checks -explain prints the plan and candidate table
+// without executing the job.
+func TestExplainFlag(t *testing.T) {
+	out := runSGMR(t, append([]string{"-sample", "triangle", "-strategy", "auto", "-explain"}, graphArgs...)...)
+	for _, want := range []string{"plan:", "candidates:", "pairs/edge", "bucket-oriented"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-explain output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "instances found") {
+		t.Errorf("-explain executed the job:\n%s", out)
+	}
+	// -explain is planner-only: serial strategies must reject it.
+	var sink strings.Builder
+	if err := run(append([]string{"-strategy", "serial", "-explain"}, graphArgs...), &sink); err == nil {
+		t.Error("-explain with -strategy serial: expected an error")
+	}
+}
+
+// sgmrJSON is the subset of the -json document the tests inspect.
+type sgmrJSON struct {
+	Graph struct {
+		Nodes, Edges int
+	}
+	Sample string
+	Plan   *struct {
+		Strategy string
+		Chosen   struct {
+			Strategy    string
+			Buckets     int
+			Shares      []int
+			CommPerEdge float64
+			EstComm     int64
+		}
+		Candidates []struct {
+			Strategy string
+			Viable   bool
+		}
+		NumCQs int
+	}
+	Result *struct {
+		Count     int64
+		TotalComm int64
+		Jobs      []struct {
+			Label  string
+			Shares []int
+		}
+	}
+	Instances [][]int
+}
+
+// TestJSONFlag checks -json emits a parseable plan + result document that
+// agrees with the serial oracle.
+func TestJSONFlag(t *testing.T) {
+	want := foundCount(t, runSGMR(t, append([]string{"-strategy", "serial"}, graphArgs...)...))
+	out := runSGMR(t, append([]string{"-strategy", "auto", "-json"}, graphArgs...)...)
+	var doc sgmrJSON
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if doc.Plan == nil || doc.Result == nil {
+		t.Fatalf("-json output missing plan or result:\n%s", out)
+	}
+	if doc.Result.Count != int64(want) {
+		t.Errorf("-json count %d, serial found %d", doc.Result.Count, want)
+	}
+	if doc.Plan.Strategy == "" || doc.Plan.Strategy == "auto" {
+		t.Errorf("-json plan strategy %q: auto must resolve to a concrete strategy", doc.Plan.Strategy)
+	}
+	if len(doc.Plan.Candidates) == 0 {
+		t.Error("-json plan lists no candidates")
+	}
+	if len(doc.Result.Jobs) == 0 {
+		t.Error("-json result lists no jobs")
+	}
+
+	// -explain -json: plan only, no result.
+	out = runSGMR(t, append([]string{"-strategy", "auto", "-json", "-explain"}, graphArgs...)...)
+	doc = sgmrJSON{}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-explain -json output does not parse: %v\n%s", err, out)
+	}
+	if doc.Plan == nil || doc.Result != nil {
+		t.Errorf("-explain -json should carry a plan and no result:\n%s", out)
+	}
+
+	// -json -print includes the instance list.
+	out = runSGMR(t, append([]string{"-strategy", "bucket", "-k", "64", "-json", "-print"}, graphArgs...)...)
+	doc = sgmrJSON{}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json -print output does not parse: %v\n%s", err, out)
+	}
+	if len(doc.Instances) != want {
+		t.Errorf("-json -print listed %d instances, want %d", len(doc.Instances), want)
 	}
 }
 

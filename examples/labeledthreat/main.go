@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,10 +54,17 @@ func main() {
 		"(p=%d, |Aut|=%d — rotations of the ring)\n",
 		k, pattern.P(), len(pattern.Automorphisms()))
 
-	res, err := subgraphmr.EnumerateDirected(g, pattern, subgraphmr.DirectedOptions{
-		Buckets: 4,
-		Seed:    1,
-	})
+	// Stream matches as the engine finds them — the same cancellable,
+	// backpressured delivery the undirected Instances iterator uses. A
+	// real deployment would alert on the first hit and cancel ctx.
+	matches := 0
+	res, err := subgraphmr.EnumerateDirectedContext(context.Background(), g, pattern,
+		subgraphmr.DirectedOptions{Buckets: 4, Seed: 1},
+		func(phi []subgraphmr.Node) bool {
+			fmt.Printf("  ring %v all booked on flight %d\n", phi[:k], phi[k]-people)
+			matches++
+			return true
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,16 +72,12 @@ func main() {
 		res.Metrics.KeyValuePairs,
 		float64(res.Metrics.KeyValuePairs)/float64(g.NumArcs()),
 		res.Metrics.DistinctKeys)
-
-	fmt.Printf("matches: %d\n", len(res.Instances))
-	for _, phi := range res.Instances {
-		fmt.Printf("  ring %v all booked on flight %d\n", phi[:k], phi[k]-people)
-	}
+	fmt.Printf("matches: %d\n", matches)
 
 	// Cross-check against the exhaustive oracle.
 	oracle := subgraphmr.DirectedBruteForce(g, pattern)
-	if len(oracle) != len(res.Instances) {
-		log.Fatalf("map-reduce found %d, oracle %d", len(res.Instances), len(oracle))
+	if len(oracle) != matches {
+		log.Fatalf("map-reduce found %d, oracle %d", matches, len(oracle))
 	}
 	fmt.Printf("\noracle agrees: %d instance(s), each found exactly once\n", len(oracle))
 }

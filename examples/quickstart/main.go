@@ -1,8 +1,9 @@
-// Quickstart: build a small data graph, enumerate triangles and squares
-// with one round of map-reduce, and inspect the cost statistics.
+// Quickstart: build a small data graph, plan and run a triangle query,
+// inspect the cost statistics, and stream squares through the iterator.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A small social graph: two triangles sharing an edge, plus a 4-cycle.
 	//
 	//     0 --- 1        5 --- 6
@@ -28,14 +31,22 @@ func main() {
 	g := b.Graph()
 	fmt.Printf("data graph: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
 
-	// Enumerate triangles. The default strategy is bucket-oriented
-	// (Section 4.5 of the paper): one hash, reducers keyed by nondecreasing
-	// bucket triples, each edge shipped b times.
-	res, err := subgraphmr.Enumerate(g, subgraphmr.Triangle(), subgraphmr.Options{Buckets: 3})
+	// Plan a triangle query. StrategyAuto costs every viable strategy
+	// (bucket/variable/CQ-oriented, the Section 2 triangle algorithms, the
+	// two-round cascade) and picks the cheapest; WithBuckets pins b=3 so
+	// the numbers below are easy to check by hand.
+	plan, err := subgraphmr.Plan(g, subgraphmr.Triangle(), subgraphmr.WithBuckets(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("triangles (%d):\n", len(res.Instances))
+	fmt.Print(plan.Explain())
+
+	// Run the plan: one unified Result for every strategy.
+	res, err := subgraphmr.Run(ctx, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntriangles (%d):\n", res.Count)
 	for _, phi := range res.Instances {
 		fmt.Printf("  {%d, %d, %d}\n", phi[0], phi[1], phi[2])
 	}
@@ -45,21 +56,28 @@ func main() {
 		float64(job.Metrics.KeyValuePairs)/float64(g.NumEdges()),
 		job.Metrics.DistinctKeys, job.Metrics.MaxReducerInput)
 
-	// Enumerate squares (4-cycles). K4 contains 3, the C4 adds 1.
-	res, err = subgraphmr.Enumerate(g, subgraphmr.Square(), subgraphmr.Options{Buckets: 3})
+	// Stream squares (4-cycles) through the iterator: instances arrive one
+	// at a time with backpressure — no [][]Node ever materializes, and
+	// breaking the loop (or cancelling ctx) tears the engine down.
+	sqPlan, err := subgraphmr.Plan(g, subgraphmr.Square(), subgraphmr.WithBuckets(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("squares (%d):\n", len(res.Instances))
-	for _, phi := range res.Instances {
+	fmt.Println("squares, streamed:")
+	squares := 0
+	for phi, err := range subgraphmr.Instances(ctx, sqPlan) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  W=%d X=%d Y=%d Z=%d\n", phi[0], phi[1], phi[2], phi[3])
+		squares++
 	}
 
 	// The same answers come from the serial algorithms of Section 7.
-	squares, _, err := subgraphmr.EnumerateByDecomposition(g, subgraphmr.Square(), nil)
+	serialSquares, _, err := subgraphmr.EnumerateByDecomposition(g, subgraphmr.Square(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nserial cross-check: %d triangles, %d squares\n",
-		subgraphmr.CountTriangles(g), len(squares))
+	fmt.Printf("\nserial cross-check: %d triangles, %d squares (streamed %d)\n",
+		subgraphmr.CountTriangles(g), len(serialSquares), squares)
 }

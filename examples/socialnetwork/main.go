@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A heavy-tailed network — the regime where naive 2-path counting
 	// explodes on hub nodes. (Scale n up to taste; motif counts grow
 	// roughly with the cube of the hub degrees.)
@@ -36,14 +39,22 @@ func main() {
 	const budget = 512
 	for _, motif := range motifs {
 		fmt.Printf("== motif: %s ==\n", motif.name)
-		for _, strat := range []subgraphmr.Strategy{
-			subgraphmr.BucketOriented, subgraphmr.VariableOriented, subgraphmr.CQOriented,
+		for _, strat := range []subgraphmr.PlanStrategy{
+			subgraphmr.StrategyBucketOriented,
+			subgraphmr.StrategyVariableOriented,
+			subgraphmr.StrategyCQOriented,
 		} {
-			res, err := subgraphmr.Enumerate(g, motif.s, subgraphmr.Options{
-				Strategy:       strat,
-				TargetReducers: budget,
-				Seed:           5,
-			})
+			// Counting is the census workload: WithCountOnly keeps the
+			// result exact without materializing a single instance.
+			plan, err := subgraphmr.Plan(g, motif.s,
+				subgraphmr.WithStrategy(strat),
+				subgraphmr.WithTargetReducers(budget),
+				subgraphmr.WithSeed(5),
+				subgraphmr.WithCountOnly())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := subgraphmr.Run(ctx, plan)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -56,7 +67,7 @@ func main() {
 			}
 			avg := float64(res.TotalComm()) / float64(reducers)
 			fmt.Printf("  %-18v count=%-7d comm/edge=%-7.2f reducers=%-5d skew(max/avg load)=%.1f\n",
-				strat, len(res.Instances),
+				strat, res.Count,
 				float64(res.TotalComm())/float64(g.NumEdges()),
 				reducers, float64(maxLoad)/avg)
 		}

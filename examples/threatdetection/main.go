@@ -6,10 +6,13 @@
 // classic shape of circular-trading / money-cycling schemes — in a sparse
 // random transaction graph and recovers every planted ring (plus any that
 // arise by chance) with the Section 5 cycle CQs, which need only 3 CQs for
-// C5 instead of the general method's larger set.
+// C5 instead of the general method's larger set. Rings stream out of the
+// Instances iterator as the engine finds them — an alerting pipeline would
+// page on the first hit rather than wait for the full census.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -61,35 +64,37 @@ func main() {
 	fmt.Printf("transaction graph: n=%d m=%d (planted %d C5 rings, %d C6 rings)\n\n",
 		g.NumNodes(), g.NumEdges(), rings5, rings6)
 
+	ctx := context.Background()
 	for _, tc := range []struct {
 		p       int
 		planted [][]subgraphmr.Node
 	}{{5, planted5}, {6, planted6}} {
 		// Section 5 cycle CQs: 3 CQs for C5, 8 for C6 — versus the general
 		// Section 3 pipeline's larger merged sets.
-		res, err := subgraphmr.Enumerate(g, subgraphmr.CycleSample(tc.p), subgraphmr.Options{
-			Strategy:    subgraphmr.BucketOriented,
-			Buckets:     5,
-			UseCycleCQs: true,
-			Seed:        3,
-		})
+		cs := subgraphmr.CycleSample(tc.p)
+		plan, err := subgraphmr.Plan(g, cs,
+			subgraphmr.WithStrategy(subgraphmr.StrategyBucketOriented),
+			subgraphmr.WithBuckets(5),
+			subgraphmr.WithCycleCQs(),
+			subgraphmr.WithSeed(3))
 		if err != nil {
 			log.Fatal(err)
 		}
+
+		// Stream the rings out of the iterator as the engine finds them.
+		found := map[string]bool{}
+		total := 0
+		for phi, err := range subgraphmr.Instances(ctx, plan) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			found[cs.Key(phi)] = true
+			total++
+		}
 		fmt.Printf("== rings of length %d: found %d using %d cycle CQs ==\n",
-			tc.p, len(res.Instances), res.NumCQs)
-		job := res.Jobs[0]
-		fmt.Printf("   comm=%d pairs (%.1f/edge), %d reducers, reducer work=%d\n",
-			job.Metrics.KeyValuePairs,
-			float64(job.Metrics.KeyValuePairs)/float64(g.NumEdges()),
-			job.Metrics.DistinctKeys, job.Metrics.ReducerWork)
+			tc.p, total, plan.NumCQs)
 
 		// Verify every planted ring was recovered.
-		found := map[string]bool{}
-		cs := subgraphmr.CycleSample(tc.p)
-		for _, phi := range res.Instances {
-			found[cs.Key(phi)] = true
-		}
 		recovered := 0
 		for _, ring := range tc.planted {
 			if found[cs.Key(ring)] {
@@ -97,7 +102,7 @@ func main() {
 			}
 		}
 		fmt.Printf("   planted rings recovered: %d/%d; incidental rings: %d\n\n",
-			recovered, len(tc.planted), len(res.Instances)-recovered)
+			recovered, len(tc.planted), total-recovered)
 		if recovered != len(tc.planted) {
 			log.Fatalf("missed a planted ring — enumeration is incomplete")
 		}

@@ -1,6 +1,8 @@
 package subgraphmr
 
 import (
+	"context"
+
 	"subgraphmr/internal/approx"
 	"subgraphmr/internal/cycles"
 	"subgraphmr/internal/directed"
@@ -78,6 +80,17 @@ func EnumerateDirected(g *DiGraph, pt *DiPattern, opt DirectedOptions) (*Directe
 	return directed.Enumerate(g, pt, opt)
 }
 
+// EnumerateDirectedContext is EnumerateDirected under a context and an
+// optional streaming sink: a nil sink materializes Result.Instances; a
+// non-nil sink receives each instance instead (serialized, with
+// backpressure; returning false stops the job early). Cancelling ctx
+// aborts the job, removes spill runs and returns ctx.Err(). The directed
+// Options honor the same execution knobs as the undirected planner
+// (TargetReducers, Parallelism, Partitions, MemoryBudget, SpillDir, Seed).
+func EnumerateDirectedContext(ctx context.Context, g *DiGraph, pt *DiPattern, opt DirectedOptions, sink func([]Node) bool) (*DirectedResult, error) {
+	return directed.EnumerateContext(ctx, g, pt, opt, sink)
+}
+
 // DirectedBruteForce is the exhaustive oracle for directed patterns.
 func DirectedBruteForce(g *DiGraph, pt *DiPattern) [][]Node {
 	return directed.BruteForce(g, pt)
@@ -86,6 +99,9 @@ func DirectedBruteForce(g *DiGraph, pt *DiPattern) [][]Node {
 // TwoRoundTriangles runs the conventional cascade of two-way joins (two
 // map-reduce rounds, materialized wedge relation) — the baseline the
 // paper's one-round algorithms beat.
+//
+// Deprecated: use Plan with WithStrategy(StrategyTwoRound) and Run; the
+// unified Result reports one JobStats per round.
 func TwoRoundTriangles(g *Graph) TwoRoundResult {
 	return tworound.Triangles(g, mapreduce.Config{})
 }
@@ -93,6 +109,9 @@ func TwoRoundTriangles(g *Graph) TwoRoundResult {
 // TwoRoundTrianglesConfig is TwoRoundTriangles under an explicit engine
 // configuration — e.g. a MemoryBudget that spills the materialized wedge
 // relation instead of holding it in the reduce workers.
+//
+// Deprecated: use Plan with WithStrategy(StrategyTwoRound) plus the engine
+// options (WithMemoryBudget, WithSpillDir, …) and Run.
 func TwoRoundTrianglesConfig(g *Graph, cfg EngineConfig) TwoRoundResult {
 	return tworound.Triangles(g, cfg)
 }

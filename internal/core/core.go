@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -165,6 +166,29 @@ func (r *Result) TotalReducerWork() int64 {
 // only see edges, so an isolated sample node could bind to nodes the
 // reducer never receives).
 func Enumerate(g *graph.Graph, s *sample.Sample, opt Options) (*Result, error) {
+	return EnumerateContext(context.Background(), g, s, opt)
+}
+
+// EnumerateContext is Enumerate under a context: cancelling ctx aborts the
+// running job (engine workers wind down, spill runs are removed) and
+// returns ctx.Err().
+func EnumerateContext(ctx context.Context, g *graph.Graph, s *sample.Sample, opt Options) (*Result, error) {
+	return enumerate(ctx, g, s, opt, nil)
+}
+
+// EnumerateStream enumerates like EnumerateContext but delivers instances
+// one at a time to yield instead of materializing Result.Instances. Calls
+// to yield are serialized and block the engine (backpressure); returning
+// false stops the enumeration early with a nil error. The returned Result
+// has nil Instances; Count is the number of instances yield accepted.
+func EnumerateStream(ctx context.Context, g *graph.Graph, s *sample.Sample, opt Options, yield func([]graph.Node) bool) (*Result, error) {
+	if yield == nil {
+		return nil, fmt.Errorf("core: EnumerateStream requires a non-nil yield")
+	}
+	return enumerate(ctx, g, s, opt, yield)
+}
+
+func enumerate(ctx context.Context, g *graph.Graph, s *sample.Sample, opt Options, sink func([]graph.Node) bool) (*Result, error) {
 	if !s.IsConnected() {
 		return nil, fmt.Errorf("core: map-reduce enumeration requires a connected sample graph")
 	}
@@ -175,14 +199,24 @@ func Enumerate(g *graph.Graph, s *sample.Sample, opt Options) (*Result, error) {
 	cfg := opt.engineConfig()
 	switch opt.Strategy {
 	case BucketOriented:
-		return bucketOriented(g, s, qs, opt, cfg)
+		return bucketOriented(ctx, g, s, qs, opt, cfg, sink)
 	case VariableOriented:
-		return variableOriented(g, s, qs, opt, cfg)
+		return variableOriented(ctx, g, s, qs, opt, cfg, sink)
 	case CQOriented:
-		return cqOriented(g, s, qs, opt, cfg)
+		return cqOriented(ctx, g, s, qs, opt, cfg, sink)
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", opt.Strategy)
 	}
+}
+
+// runEnumJob executes one enumeration job, either materializing its
+// instances (sink nil) or streaming them into sink.
+func runEnumJob(ctx context.Context, job mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node], cfg mapreduce.Config, edges []graph.Edge, sink func([]graph.Node) bool) ([][]graph.Node, mapreduce.Metrics, error) {
+	if sink == nil {
+		return job.RunContext(ctx, cfg, edges)
+	}
+	m, err := job.RunStream(ctx, cfg, edges, sink)
+	return nil, m, err
 }
 
 // buildCQs compiles the sample to its CQ set: the Section 5 generator for
@@ -216,7 +250,7 @@ func bucketKey(buckets []int) string {
 }
 
 // bucketOriented implements the Section 4.5 strategy.
-func bucketOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config) (*Result, error) {
+func bucketOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config, sink func([]graph.Node) bool) (*Result, error) {
 	p := s.P()
 	b := opt.Buckets
 	if b <= 0 {
@@ -251,12 +285,15 @@ func bucketOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, 
 			}))
 		}
 	}
-	instances, metrics := mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
+	instances, metrics, err := runEnumJob(ctx, mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
 		Name:   fmt.Sprintf("bucket-oriented b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
 		Codec:  edgeCodec{},
-	}.Run(cfg, g.Edges())
+	}, cfg, g.Edges(), sink)
+	if err != nil {
+		return nil, err
+	}
 	job := JobStats{
 		Label:                fmt.Sprintf("bucket-oriented b=%d", b),
 		CQs:                  cqStrings(qs),
@@ -265,11 +302,22 @@ func bucketOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, 
 		OptimalCommPerEdge:   shares.BucketEdgeReplication(b, p),
 		Metrics:              metrics,
 	}
-	count := counted.Load()
-	if !opt.CountOnly {
-		count = int64(len(instances))
-	}
+	count := resultCount(opt, sink, counted.Load(), instances, metrics)
 	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}, NumCQs: len(qs)}, nil
+}
+
+// resultCount picks the exact-count source for a finished job: the
+// reducer-side counter under CountOnly, the number of instances yielded in
+// streaming mode, or the materialized slice length.
+func resultCount(opt Options, sink func([]graph.Node) bool, counted int64, instances [][]graph.Node, metrics mapreduce.Metrics) int64 {
+	switch {
+	case opt.CountOnly:
+		return counted
+	case sink != nil:
+		return metrics.Outputs
+	default:
+		return int64(len(instances))
+	}
 }
 
 // bucketEdgeMapper returns the Section 4.5 mapper: each edge is shipped to
@@ -316,22 +364,15 @@ func ownedKey(completion []int, hu, hv int) string {
 
 // bucketsForReducers returns the largest b with C(b+p-1, p) ≤ k (at least 1).
 func bucketsForReducers(k, p int) int {
-	b := 1
-	for shares.UsefulReducers(b+1, p) <= float64(k) {
-		b++
-		if b >= 255 {
-			break
-		}
-	}
-	return b
+	return shares.BucketsForReducers(k, p)
 }
 
 // variableOriented implements the Section 4.3 strategy.
-func variableOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config) (*Result, error) {
+func variableOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config, sink func([]graph.Node) bool) (*Result, error) {
 	p := s.P()
 	uses := cq.EdgeUses(qs)
 	model := shares.ModelFromEdgeUses(p, uses)
-	res, err := runShareJob(g, p, qs, model, bindingsFromUses(uses), opt, cfg, "variable-oriented")
+	res, err := runShareJob(ctx, g, p, qs, model, bindingsFromUses(uses), opt, cfg, "variable-oriented", sink)
 	if err != nil {
 		return nil, err
 	}
@@ -339,24 +380,43 @@ func variableOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options
 	return res, nil
 }
 
-// cqOriented implements the Section 4.1 strategy: one job per CQ.
-func cqOriented(g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config) (*Result, error) {
+// cqOriented implements the Section 4.1 strategy: one job per CQ. In
+// streaming mode an early stop (yield returning false) skips the remaining
+// jobs.
+func cqOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config, sink func([]graph.Node) bool) (*Result, error) {
 	p := s.P()
 	out := &Result{NumCQs: len(qs)}
+	stopped := false
+	wrapped := sink
+	if sink != nil {
+		wrapped = func(phi []graph.Node) bool {
+			if !sink(phi) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+	}
 	for i, q := range qs {
+		if stopped || ctx.Err() != nil {
+			break
+		}
 		model := shares.ModelFromCQ(q)
 		var binds []edgeBinding
 		for _, sg := range q.Subgoals {
 			binds = append(binds, edgeBinding{lo: sg.Lo, hi: sg.Hi})
 		}
-		res, err := runShareJob(g, p, []*cq.CQ{q}, model, binds, opt, cfg,
-			fmt.Sprintf("cq-oriented job %d/%d", i+1, len(qs)))
+		res, err := runShareJob(ctx, g, p, []*cq.CQ{q}, model, binds, opt, cfg,
+			fmt.Sprintf("cq-oriented job %d/%d", i+1, len(qs)), wrapped)
 		if err != nil {
 			return nil, err
 		}
 		out.Instances = append(out.Instances, res.Instances...)
 		out.Count += res.Count
 		out.Jobs = append(out.Jobs, res.Jobs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -383,7 +443,7 @@ func bindingsFromUses(uses []cq.EdgeUse) []edgeBinding {
 // reducers of every bucket tuple extending the bound pair, and evaluate the
 // CQs at each reducer with the natural node order. An instance is emitted
 // only at the reducer matching the hashes of all its nodes.
-func runShareJob(g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds []edgeBinding, opt Options, cfg mapreduce.Config, label string) (*Result, error) {
+func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds []edgeBinding, opt Options, cfg mapreduce.Config, label string, sink func([]graph.Node) bool) (*Result, error) {
 	sol, err := model.Solve(float64(opt.reducers()))
 	if err != nil {
 		return nil, err
@@ -439,12 +499,15 @@ func runShareJob(g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds [
 			}))
 		}
 	}
-	instances, metrics := mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
+	instances, metrics, err := runEnumJob(ctx, mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
 		Name:   label,
 		Map:    mapper,
 		Reduce: reducer,
 		Codec:  edgeCodec{},
-	}.Run(cfg, g.Edges())
+	}, cfg, g.Edges(), sink)
+	if err != nil {
+		return nil, err
+	}
 	fs := make([]float64, p)
 	for v, sh := range intShares {
 		fs[v] = float64(sh)
@@ -457,10 +520,7 @@ func runShareJob(g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds [
 		OptimalCommPerEdge:   sol.CostPerEdge,
 		Metrics:              metrics,
 	}
-	count := counted.Load()
-	if !opt.CountOnly {
-		count = int64(len(instances))
-	}
+	count := resultCount(opt, sink, counted.Load(), instances, metrics)
 	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}}, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -24,6 +25,25 @@ import (
 // The sample must be connected: every node of an instance is then incident
 // to an instance edge, all of which reach the owning reducer.
 func EnumerateDecomposed(g *graph.Graph, s *sample.Sample, parts []sample.Part, opt Options) (*Result, error) {
+	return EnumerateDecomposedContext(context.Background(), g, s, parts, opt)
+}
+
+// EnumerateDecomposedContext is EnumerateDecomposed under a context; see
+// EnumerateContext for the cancellation contract.
+func EnumerateDecomposedContext(ctx context.Context, g *graph.Graph, s *sample.Sample, parts []sample.Part, opt Options) (*Result, error) {
+	return enumerateDecomposed(ctx, g, s, parts, opt, nil)
+}
+
+// EnumerateDecomposedStream streams instances into yield instead of
+// materializing them; see EnumerateStream for the yield contract.
+func EnumerateDecomposedStream(ctx context.Context, g *graph.Graph, s *sample.Sample, parts []sample.Part, opt Options, yield func([]graph.Node) bool) (*Result, error) {
+	if yield == nil {
+		return nil, fmt.Errorf("core: EnumerateDecomposedStream requires a non-nil yield")
+	}
+	return enumerateDecomposed(ctx, g, s, parts, opt, yield)
+}
+
+func enumerateDecomposed(ctx context.Context, g *graph.Graph, s *sample.Sample, parts []sample.Part, opt Options, sink func([]graph.Node) bool) (*Result, error) {
 	if !s.IsConnected() {
 		return nil, fmt.Errorf("core: map-reduce enumeration requires a connected sample graph")
 	}
@@ -79,12 +99,15 @@ func EnumerateDecomposed(g *graph.Graph, s *sample.Sample, parts []sample.Part, 
 		}
 	}
 
-	instances, metrics := mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
+	instances, metrics, err := runEnumJob(ctx, mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
 		Name:   fmt.Sprintf("decomposed (Theorem 6.1) b=%d", b),
 		Map:    bucketEdgeMapper(h, p, b),
 		Reduce: reducer,
 		Codec:  edgeCodec{},
-	}.Run(cfg, g.Edges())
+	}, cfg, g.Edges(), sink)
+	if err != nil {
+		return nil, err
+	}
 
 	job := JobStats{
 		Label:                fmt.Sprintf("decomposed (Theorem 6.1 conversion) b=%d", b),
@@ -93,9 +116,6 @@ func EnumerateDecomposed(g *graph.Graph, s *sample.Sample, parts []sample.Part, 
 		OptimalCommPerEdge:   shares.BucketEdgeReplication(b, p),
 		Metrics:              metrics,
 	}
-	count := counted.Load()
-	if !opt.CountOnly {
-		count = int64(len(instances))
-	}
+	count := resultCount(opt, sink, counted.Load(), instances, metrics)
 	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}}, nil
 }

@@ -1,6 +1,7 @@
 package directed
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,10 +10,16 @@ import (
 	"subgraphmr/internal/shares"
 )
 
-// Options configures the directed enumeration.
+// Options configures the directed enumeration. It mirrors the execution
+// fields of core.Options exactly (asserted by the public options-parity
+// test), so every knob the undirected strategies honor works here too.
 type Options struct {
-	// Buckets is the hash bucket count b (default 4).
+	// Buckets is the hash bucket count b (default: derived from
+	// TargetReducers, or 4 when that is unset too).
 	Buckets int
+	// TargetReducers, when Buckets is unset, picks the largest b whose
+	// useful-reducer count C(b+p-1, p) stays within it (Theorem 4.2).
+	TargetReducers int
 	// Seed seeds the node hash.
 	Seed uint64
 	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
@@ -25,6 +32,17 @@ type Options struct {
 	MemoryBudget int64
 	// SpillDir is the directory for spill run files ("" = system temp).
 	SpillDir string
+}
+
+// buckets resolves the bucket count for a p-node pattern.
+func (o Options) buckets(p int) int {
+	if o.Buckets > 0 {
+		return o.Buckets
+	}
+	if o.TargetReducers > 0 {
+		return shares.BucketsForReducers(o.TargetReducers, p)
+	}
+	return 4
 }
 
 // Result carries the instances and job metrics.
@@ -42,13 +60,19 @@ type Result struct {
 // by the reducer owning its bucket multiset, in canonical (automorphism-
 // least) form.
 func Enumerate(g *DiGraph, pt *DiPattern, opt Options) (*Result, error) {
+	return EnumerateContext(context.Background(), g, pt, opt, nil)
+}
+
+// EnumerateContext is Enumerate under a context and an optional streaming
+// sink: a nil sink materializes Result.Instances; a non-nil sink receives
+// each instance instead (serialized, with backpressure; returning false
+// stops the job early with a nil error). Cancelling ctx aborts the job and
+// returns ctx.Err().
+func EnumerateContext(ctx context.Context, g *DiGraph, pt *DiPattern, opt Options, sink func([]graph.Node) bool) (*Result, error) {
 	if !pt.IsWeaklyConnected() {
 		return nil, fmt.Errorf("directed: pattern must be weakly connected")
 	}
-	b := opt.Buckets
-	if b <= 0 {
-		b = 4
-	}
+	b := opt.buckets(pt.P())
 	if b > 255 {
 		return nil, fmt.Errorf("directed: bucket count %d exceeds 255", b)
 	}
@@ -97,16 +121,28 @@ func Enumerate(g *DiGraph, pt *DiPattern, opt Options) (*Result, error) {
 			}
 		}))
 	}
-	instances, metrics := mapreduce.Job[Arc, string, Arc, []graph.Node]{
+	job := mapreduce.Job[Arc, string, Arc, []graph.Node]{
 		Name:   fmt.Sprintf("directed bucket-oriented b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
-	}.Run(mapreduce.Config{
+	}
+	cfg := mapreduce.Config{
 		Parallelism:  opt.Parallelism,
 		Partitions:   opt.Partitions,
 		MemoryBudget: opt.MemoryBudget,
 		SpillDir:     opt.SpillDir,
-	}, g.Arcs())
+	}
+	if sink != nil {
+		metrics, err := job.RunStream(ctx, cfg, g.Arcs(), sink)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Metrics: metrics, Buckets: b}, nil
+	}
+	instances, metrics, err := job.RunContext(ctx, cfg, g.Arcs())
+	if err != nil {
+		return nil, err
+	}
 	return &Result{Instances: instances, Metrics: metrics, Buckets: b}, nil
 }
 

@@ -1,6 +1,9 @@
 package mapreduce
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // RoundStats records one executed round of a Chain.
 type RoundStats struct {
@@ -35,13 +38,36 @@ func NewChain(cfg Config) *Chain { return &Chain{Cfg: cfg} }
 
 // RunRound executes j as the chain's next round and returns its outputs.
 func RunRound[I any, K comparable, V any, O any](c *Chain, j Job[I, K, V, O], inputs []I) []O {
-	name := j.Name
-	if name == "" {
-		name = fmt.Sprintf("round %d", len(c.Rounds)+1)
-	}
-	outs, m := j.Run(c.Cfg, inputs)
-	c.Rounds = append(c.Rounds, RoundStats{Name: name, Metrics: m})
+	outs, _ := RunRoundContext(context.Background(), c, j, inputs)
 	return outs
+}
+
+// RunRoundContext is RunRound under a context: a cancelled ctx aborts the
+// round and returns ctx.Err() with nil outputs. The round's (possibly
+// partial) metrics are recorded on the chain either way.
+func RunRoundContext[I any, K comparable, V any, O any](ctx context.Context, c *Chain, j Job[I, K, V, O], inputs []I) ([]O, error) {
+	name := c.roundName(j.Name)
+	outs, m, err := j.RunContext(ctx, c.Cfg, inputs)
+	c.Rounds = append(c.Rounds, RoundStats{Name: name, Metrics: m})
+	return outs, err
+}
+
+// RunRoundStream executes j as the chain's next round, streaming its
+// outputs into yield (serialized, with backpressure) instead of
+// materializing them; see Job.RunStream for the yield and cancellation
+// contract. The round's metrics are recorded on the chain.
+func RunRoundStream[I any, K comparable, V any, O any](ctx context.Context, c *Chain, j Job[I, K, V, O], inputs []I, yield func(O) bool) error {
+	name := c.roundName(j.Name)
+	m, err := j.RunStream(ctx, c.Cfg, inputs, yield)
+	c.Rounds = append(c.Rounds, RoundStats{Name: name, Metrics: m})
+	return err
+}
+
+func (c *Chain) roundName(name string) string {
+	if name == "" {
+		return fmt.Sprintf("round %d", len(c.Rounds)+1)
+	}
+	return name
 }
 
 // NumRounds returns the number of rounds executed so far.

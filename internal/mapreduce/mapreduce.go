@@ -27,11 +27,13 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Metrics aggregates the cost measures of one map-reduce job.
@@ -217,6 +219,43 @@ func partitionIndex[K comparable](partition Partitioner[K], k K, p int) int {
 // a Combiner is set), and Reduce is applied to each key group. It returns
 // the reducer outputs (in no particular order) and the job metrics.
 func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
+	out, m, _ := j.RunContext(context.Background(), cfg, inputs)
+	return out, m
+}
+
+// RunContext is Run under a context: cancelling ctx aborts the job — map
+// workers stop consuming inputs, reduce workers stop reducing, spill runs
+// are removed — and the partial metrics plus ctx.Err() are returned. A nil
+// error means the job ran to completion.
+func (j Job[I, K, V, O]) RunContext(ctx context.Context, cfg Config, inputs []I) ([]O, Metrics, error) {
+	var out []O
+	m, err := j.RunStream(ctx, cfg, inputs, func(o O) bool {
+		out = append(out, o)
+		return true
+	})
+	if err != nil {
+		return nil, m, err
+	}
+	return out, m, nil
+}
+
+// RunStream executes the job, delivering reducer outputs one at a time to
+// yield instead of materializing them. Calls to yield are serialized
+// (never concurrent) and block the emitting reduce worker, so delivery is
+// consumer-paced and the outputs never accumulate in memory. Note the
+// pacing reaches the reduce phase only: reduction starts after the map
+// phase completes, so by the first yield the shuffled pairs are already
+// grouped in the reduce workers' tables — bound that state with
+// Config.MemoryBudget, not with a slow consumer. Returning false from
+// yield stops the job early: no further outputs are delivered, remaining
+// groups are never reduced, spill files are removed, and RunStream returns
+// the partial metrics with a nil error. Cancelling ctx has the same
+// teardown — and can additionally interrupt the map phase — but returns
+// ctx.Err(). Metrics.Outputs counts only the values yield accepted.
+func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, yield func(O) bool) (Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nm := cfg.workers()
 	if nm > len(inputs) && len(inputs) > 0 {
 		nm = len(inputs)
@@ -234,6 +273,43 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 		seed := maphash.MakeSeed()
 		partition = func(k K, p int) int {
 			return int(maphash.Comparable(seed, k) % uint64(p))
+		}
+	}
+
+	// Cooperative stop flag: set when ctx is cancelled or yield returns
+	// false. Workers poll it instead of selecting on ctx.Done() per item.
+	var stop atomic.Bool
+	if done := ctx.Done(); done != nil {
+		watcherQuit := make(chan struct{})
+		go func() {
+			select {
+			case <-done:
+				stop.Store(true)
+			case <-watcherQuit:
+			}
+		}()
+		defer close(watcherQuit)
+	}
+
+	// deliver serializes reducer outputs into yield. After a stop it drops
+	// outputs, so reducers mid-group can finish without further delivery.
+	var (
+		ymu     sync.Mutex
+		yielded int64
+	)
+	deliver := func(o O) {
+		if stop.Load() {
+			return
+		}
+		ymu.Lock()
+		defer ymu.Unlock()
+		if stop.Load() {
+			return
+		}
+		if yield(o) {
+			yielded++
+		} else {
+			stop.Store(true)
 		}
 	}
 
@@ -266,13 +342,14 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 
 	// Reduce workers: each owns one partition, grouping batches as they
 	// arrive (concurrently with mapping) and reducing once its channel
-	// closes — from memory, or via the run merge when it spilled.
+	// closes — from memory, or via the run merge when it spilled. On stop
+	// they keep draining their channel (so mappers never block forever) but
+	// skip grouping and reducing.
 	var (
 		rwg      sync.WaitGroup
 		distinct = make([]int64, np)
 		maxIn    = make([]int64, np)
 		works    = make([]int64, np)
-		outs     = make([][]O, np)
 		spills   = make([]Metrics, np)
 		errs     = make([]error, np)
 	)
@@ -288,6 +365,9 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 			groups := make(map[K][]V)
 			var est int64
 			for batch := range chans[p] {
+				if stop.Load() {
+					continue // drain without grouping
+				}
 				for _, kv := range batch {
 					vs, ok := groups[kv.key]
 					groups[kv.key] = append(vs, kv.val)
@@ -299,6 +379,7 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 						if est > budget {
 							if err := sp.spill(groups); err != nil {
 								errs[p] = err
+								stop.Store(true)
 								for range chans[p] { // unblock mappers
 								}
 								return
@@ -309,9 +390,13 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 					}
 				}
 			}
-			ctx := &Context{}
-			var out []O
-			emit := func(o O) { out = append(out, o) }
+			if stop.Load() {
+				// Cancelled or stopped early: nothing left to reduce; the
+				// deferred cleanup removes any spill runs.
+				return
+			}
+			rctx := &Context{}
+			emit := deliver
 			if sp != nil && len(sp.paths) > 0 {
 				if len(groups) > 0 {
 					if err := sp.spill(groups); err != nil {
@@ -320,8 +405,12 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 					}
 					groups = nil
 				}
-				d, mi, err := sp.mergeReduce(func(k K, vs []V) {
-					j.Reduce(ctx, k, vs, emit)
+				d, mi, err := sp.mergeReduce(func(k K, vs []V) bool {
+					if stop.Load() {
+						return false
+					}
+					j.Reduce(rctx, k, vs, emit)
+					return true
 				})
 				if err != nil {
 					errs[p] = err
@@ -331,17 +420,19 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 			} else {
 				distinct[p] = int64(len(groups))
 				for k, vs := range groups {
+					if stop.Load() {
+						break
+					}
 					if n := int64(len(vs)); n > maxIn[p] {
 						maxIn[p] = n
 					}
-					j.Reduce(ctx, k, vs, emit)
+					j.Reduce(rctx, k, vs, emit)
 				}
 			}
 			if sp != nil {
 				spills[p] = Metrics{SpilledPairs: sp.pairs, SpillBytes: sp.bytes, SpillFiles: sp.runs}
 			}
-			works[p] = ctx.work
-			outs[p] = out
+			works[p] = rctx.work
 		}(p)
 	}
 
@@ -407,7 +498,13 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 			}
 
 			for i := lo; i < hi; i++ {
+				if stop.Load() {
+					return // discard buffered pairs: nobody will reduce them
+				}
 				j.Map(inputs[i], emit)
+			}
+			if stop.Load() {
+				return
 			}
 			if flushCombined != nil {
 				flushCombined()
@@ -431,7 +528,6 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 		}
 	}
 	var metrics Metrics
-	var result []O
 	for w := 0; w < nm; w++ {
 		metrics.KeyValuePairs += shipped[w]
 	}
@@ -444,10 +540,12 @@ func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 		metrics.SpilledPairs += spills[p].SpilledPairs
 		metrics.SpillBytes += spills[p].SpillBytes
 		metrics.SpillFiles += spills[p].SpillFiles
-		result = append(result, outs[p]...)
 	}
-	metrics.Outputs = int64(len(result))
-	return result, metrics
+	metrics.Outputs = yielded
+	if err := ctx.Err(); err != nil {
+		return metrics, err
+	}
+	return metrics, nil
 }
 
 // Run executes one combiner-less map-reduce round on the pipelined engine:

@@ -111,7 +111,9 @@ func (s *spiller[K, V]) spill(groups map[K][]V) error {
 // mergeReduce merges every run and streams each key's values into reduce in
 // ascending encoded-key order. It returns the number of distinct keys and
 // the largest group, matching what the in-memory path would have reported.
-func (s *spiller[K, V]) mergeReduce(reduce func(k K, vs []V)) (distinct, maxIn int64, err error) {
+// A false return from reduce aborts the merge early (the group counted
+// against distinct/maxIn is the one the callback declined).
+func (s *spiller[K, V]) mergeReduce(reduce func(k K, vs []V) bool) (distinct, maxIn int64, err error) {
 	// Intermediate passes: fold the oldest mergeFanIn runs into one until
 	// the final merge fits the fan-in cap.
 	for len(s.paths) > mergeFanIn {
@@ -152,7 +154,9 @@ func (s *spiller[K, V]) mergeReduce(reduce func(k K, vs []V)) (distinct, maxIn i
 		if n := int64(len(vs)); n > maxIn {
 			maxIn = n
 		}
-		reduce(k, vs)
+		if !reduce(k, vs) {
+			return distinct, maxIn, nil
+		}
 	}
 }
 

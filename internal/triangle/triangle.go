@@ -15,6 +15,7 @@
 package triangle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -39,12 +40,32 @@ func (r Result) Count() int64 { return int64(len(r.Triangles)) }
 
 type triple struct{ A, B, C int }
 
+// runTriangleJob executes one triangle job, materializing the triangles
+// (sink nil) or streaming each into sink; see mapreduce.Job.RunStream for
+// the sink and cancellation contract.
+func runTriangleJob[V any](ctx context.Context, j mapreduce.Job[graph.Edge, triple, V, [3]graph.Node], cfg mapreduce.Config, edges []graph.Edge, b int, sink func([3]graph.Node) bool) (Result, error) {
+	if sink == nil {
+		tris, metrics, err := j.RunContext(ctx, cfg, edges)
+		return Result{Triangles: tris, Metrics: metrics, Buckets: b}, err
+	}
+	metrics, err := j.RunStream(ctx, cfg, edges, sink)
+	return Result{Metrics: metrics, Buckets: b}, err
+}
+
 // Partition runs the Suri–Vassilvitskii Partition algorithm with b ≥ 3 node
 // groups. Each reducer R_{ijk} (i<j<k) receives the edges with both
 // endpoints in S_i ∪ S_j ∪ S_k; a triangle is emitted only by the reducer
 // whose triple is the canonical completion of the triangle's group set, so
 // the over-counting the paper describes is compensated exactly.
 func Partition(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	return PartitionContext(context.Background(), g, b, seed, cfg, nil)
+}
+
+// PartitionContext is Partition under a context and an optional streaming
+// sink: a nil sink materializes Result.Triangles; a non-nil sink receives
+// each triangle instead (serialized, with backpressure; returning false
+// stops the job early). Cancelling ctx aborts the job with ctx.Err().
+func PartitionContext(ctx context.Context, g *graph.Graph, b int, seed uint64, cfg mapreduce.Config, sink func([3]graph.Node) bool) (Result, error) {
 	if b < 3 {
 		return Result{}, fmt.Errorf("triangle: Partition needs b >= 3, got %d", b)
 	}
@@ -82,12 +103,11 @@ func Partition(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result
 			}
 		}))
 	}
-	tris, metrics := mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
+	return runTriangleJob(ctx, mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
 		Name:   fmt.Sprintf("partition b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
-	}.Run(cfg, g.Edges())
-	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
+	}, cfg, g.Edges(), b, sink)
 }
 
 // canonicalGroupTriple maps a triangle to the unique reducer that owns it:
@@ -134,6 +154,12 @@ type taggedEdge struct {
 // (b, b, b). Each edge reaches exactly 3b−2 distinct reducers (the paper's
 // footnote-1 dedup is performed, merging the coinciding role copies).
 func Multiway(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	return MultiwayContext(context.Background(), g, b, seed, cfg, nil)
+}
+
+// MultiwayContext is Multiway under a context and an optional streaming
+// sink; see PartitionContext for the contract.
+func MultiwayContext(ctx context.Context, g *graph.Graph, b int, seed uint64, cfg mapreduce.Config, sink func([3]graph.Node) bool) (Result, error) {
 	if b < 1 {
 		return Result{}, fmt.Errorf("triangle: Multiway needs b >= 1, got %d", b)
 	}
@@ -181,12 +207,11 @@ func Multiway(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result,
 			}
 		}
 	}
-	tris, metrics := mapreduce.Job[graph.Edge, triple, taggedEdge, [3]graph.Node]{
+	return runTriangleJob(ctx, mapreduce.Job[graph.Edge, triple, taggedEdge, [3]graph.Node]{
 		Name:   fmt.Sprintf("multiway shares=(%d,%d,%d)", b, b, b),
 		Map:    mapper,
 		Reduce: reducer,
-	}.Run(cfg, g.Edges())
-	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
+	}, cfg, g.Edges(), b, sink)
 }
 
 // BucketOrdered runs the Section 2.3 algorithm: nodes are ordered by
@@ -194,6 +219,12 @@ func Multiway(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result,
 // shipped to exactly b reducers; the triangle (u ≺ v ≺ w) is owned by the
 // reducer of its sorted bucket triple.
 func BucketOrdered(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	return BucketOrderedContext(context.Background(), g, b, seed, cfg, nil)
+}
+
+// BucketOrderedContext is BucketOrdered under a context and an optional
+// streaming sink; see PartitionContext for the contract.
+func BucketOrderedContext(ctx context.Context, g *graph.Graph, b int, seed uint64, cfg mapreduce.Config, sink func([3]graph.Node) bool) (Result, error) {
 	if b < 1 {
 		return Result{}, fmt.Errorf("triangle: BucketOrdered needs b >= 1, got %d", b)
 	}
@@ -217,12 +248,11 @@ func BucketOrdered(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Re
 			}
 		}))
 	}
-	tris, metrics := mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
+	return runTriangleJob(ctx, mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
 		Name:   fmt.Sprintf("bucket-ordered b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
-	}.Run(cfg, g.Edges())
-	return Result{Triangles: tris, Metrics: metrics, Buckets: b}, nil
+	}, cfg, g.Edges(), b, sink)
 }
 
 // trianglesInSparse enumerates each triangle of the local graph once

@@ -9,6 +9,8 @@
 package tworound
 
 import (
+	"context"
+
 	"subgraphmr/internal/graph"
 	"subgraphmr/internal/mapreduce"
 )
@@ -47,6 +49,18 @@ type edgeOrWedge struct {
 // Triangles enumerates every triangle exactly once (as X < Y < Z with the
 // natural node order) as an explicit two-round chain.
 func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
+	res, _ := TrianglesContext(context.Background(), g, cfg, nil)
+	return res
+}
+
+// TrianglesContext is Triangles under a context and an optional streaming
+// sink. Round 1 (the wedge join) always materializes — its output is round
+// 2's input — but a non-nil sink streams round 2's triangles instead of
+// collecting them (serialized, consumer-paced; returning false stops the
+// round early). Cancelling ctx aborts whichever round is running and
+// returns ctx.Err(); the Result then carries the metrics of the rounds
+// that ran, with nil Triangles.
+func TrianglesContext(ctx context.Context, g *graph.Graph, cfg mapreduce.Config, sink func([3]graph.Node) bool) (Result, error) {
 	c := mapreduce.NewChain(cfg)
 
 	// Round 1: key by the shared variable Y. An edge (a, b) with a < b
@@ -55,7 +69,7 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 		Other graph.Node
 		Left  bool // true: contributes X to E(X,Y); false: contributes Z
 	}
-	wedges := mapreduce.RunRound(c, mapreduce.Job[graph.Edge, graph.Node, role, wedge]{
+	wedges, err := mapreduce.RunRoundContext(ctx, c, mapreduce.Job[graph.Edge, graph.Node, role, wedge]{
 		Name: "wedge join E(X,Y) ⋈ E(Y,Z)",
 		Map: func(e graph.Edge, emit func(graph.Node, role)) {
 			emit(e.V, role{Other: e.U, Left: true})  // X = U, Y = V
@@ -78,6 +92,9 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 			}
 		},
 	}, g.Edges())
+	if err != nil {
+		return resultFromChain(nil, int64(len(wedges)), c), err
+	}
 
 	// Round 2: join the wedges with E(X,Z), keyed by the (X,Z) edge.
 	type kv = uint64
@@ -88,7 +105,7 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 	for _, e := range g.Edges() {
 		inputs = append(inputs, e)
 	}
-	tris := mapreduce.RunRound(c, mapreduce.Job[any, kv, edgeOrWedge, [3]graph.Node]{
+	round2 := mapreduce.Job[any, kv, edgeOrWedge, [3]graph.Node]{
 		Name: "close wedges against E(X,Z)",
 		Map: func(in any, emit func(kv, edgeOrWedge)) {
 			switch v := in.(type) {
@@ -118,15 +135,28 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 				}
 			}
 		},
-	}, inputs)
-
-	return Result{
-		Triangles: tris,
-		Round1:    c.Rounds[0].Metrics,
-		Round2:    c.Rounds[1].Metrics,
-		Wedges:    int64(len(wedges)),
-		Chain:     c,
 	}
+
+	var tris [][3]graph.Node
+	if sink == nil {
+		tris, err = mapreduce.RunRoundContext(ctx, c, round2, inputs)
+	} else {
+		err = mapreduce.RunRoundStream(ctx, c, round2, inputs, sink)
+	}
+	return resultFromChain(tris, int64(len(wedges)), c), err
+}
+
+// resultFromChain assembles a Result from however many rounds actually ran
+// (a cancelled chain may have fewer than two).
+func resultFromChain(tris [][3]graph.Node, wedges int64, c *mapreduce.Chain) Result {
+	r := Result{Triangles: tris, Wedges: wedges, Chain: c}
+	if len(c.Rounds) > 0 {
+		r.Round1 = c.Rounds[0].Metrics
+	}
+	if len(c.Rounds) > 1 {
+		r.Round2 = c.Rounds[1].Metrics
+	}
+	return r
 }
 
 // WedgeCount returns the exact number of ordered wedges Σ over middles of

@@ -1,0 +1,441 @@
+package subgraphmr
+
+import (
+	"fmt"
+	"strings"
+
+	"subgraphmr/internal/cq"
+	"subgraphmr/internal/cycles"
+	"subgraphmr/internal/shares"
+	"subgraphmr/internal/triangle"
+	"subgraphmr/internal/tworound"
+)
+
+// Candidate is one strategy the planner evaluated, with its estimated
+// execution shape and cost. Non-viable candidates carry the reason they
+// were ruled out (e.g. a triangle-only algorithm for a square sample).
+type Candidate struct {
+	// Strategy is the candidate strategy.
+	Strategy PlanStrategy
+	// Viable reports whether the strategy can run this query at all.
+	Viable bool
+	// Reason explains a non-viable candidate (empty when viable).
+	Reason string `json:",omitempty"`
+	// Buckets is the resolved bucket count for bucket-style strategies
+	// (0 for share-based ones).
+	Buckets int `json:",omitempty"`
+	// Shares is the per-variable integer share vector of a share-based
+	// job, or the uniform bucket vector of a bucket-style one.
+	Shares []int `json:",omitempty"`
+	// JobShares lists per-job share vectors for CQOriented (one per CQ).
+	JobShares [][]int `json:",omitempty"`
+	// Jobs is the number of map-reduce jobs the strategy runs.
+	Jobs int
+	// Rounds is the number of map-reduce rounds (1 except the cascade).
+	Rounds int
+	// Reducers estimates the number of useful reducers (distinct keys).
+	Reducers int64
+	// CommPerEdge is the model-predicted communication per data edge.
+	CommPerEdge float64
+	// EstComm is CommPerEdge × |E| — the predicted key-value pairs
+	// shipped, the quantity Auto minimizes.
+	EstComm int64
+	// EstShuffleBytes roughly estimates the reduce-side shuffle footprint
+	// (pairs × per-pair heap overhead), used for the spill prediction.
+	EstShuffleBytes int64
+}
+
+// QueryPlan is an explainable execution plan produced by Plan: the chosen
+// strategy plus its predicted shape and cost, and every candidate the
+// planner compared. Execute it with Run (materialized), Stream (callback),
+// or Instances (iterator).
+type QueryPlan struct {
+	// Strategy is the chosen strategy (never StrategyAuto).
+	Strategy PlanStrategy
+	// Chosen is the chosen candidate's full estimate.
+	Chosen Candidate
+	// Candidates lists every evaluated candidate in planner order.
+	Candidates []Candidate
+	// NumCQs is the number of conjunctive queries the CQ-based strategies
+	// evaluate for this sample.
+	NumCQs int
+	// PredictedSpill reports whether the chosen strategy's estimated
+	// shuffle footprint exceeds the configured memory budget (always
+	// false without a budget).
+	PredictedSpill bool
+	// MemoryBudget echoes the configured budget (0 = unlimited).
+	MemoryBudget int64 `json:",omitempty"`
+
+	graph  *Graph
+	sample *Sample
+	opts   planOpts
+}
+
+// planPairOverhead approximates the per-pair heap footprint of the reduce
+// workers' group tables (key/value bytes plus map and slice overheads) for
+// the spill prediction. It intentionally errs high: predicting a spill
+// that ends up borderline is more useful than missing one.
+const planPairOverhead = 96
+
+// Plan builds a cost-based execution plan for enumerating s in g. With
+// StrategyAuto (the default) it estimates the communication cost of every
+// viable strategy — the Section 4 share models for the CQ strategies, the
+// closed forms of Sections 2 and 4.5 for the bucket and triangle
+// algorithms, and the measured wedge count for the two-round cascade — and
+// picks the cheapest (ties break toward the earlier candidate, so the
+// paper's preferred bucket-oriented strategy wins equal-cost contests).
+// The returned plan records every candidate for inspection via Explain.
+func Plan(g *Graph, s *Sample, opts ...Option) (*QueryPlan, error) {
+	if g == nil || s == nil {
+		return nil, fmt.Errorf("subgraphmr: Plan requires a data graph and a sample")
+	}
+	if !s.IsConnected() {
+		return nil, fmt.Errorf("subgraphmr: map-reduce enumeration requires a connected sample graph")
+	}
+	o := defaultPlanOpts()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.buckets > 255 {
+		return nil, fmt.Errorf("subgraphmr: bucket count %d exceeds 255", o.buckets)
+	}
+	p := s.P()
+	qs, err := planCQs(s, o)
+	if err != nil {
+		return nil, err
+	}
+	m := int64(g.NumEdges())
+
+	cands := []Candidate{
+		bucketCandidate(StrategyBucketOriented, p, m, o),
+		variableCandidate(p, m, qs, o),
+		cqCandidate(p, m, qs, o),
+		bucketCandidate(StrategyDecomposed, p, m, o),
+		triangleCandidate(StrategyTriangleBucketOrdered, s, m, o),
+		triangleCandidate(StrategyTrianglePartition, s, m, o),
+		triangleCandidate(StrategyTriangleMultiway, s, m, o),
+		twoRoundCandidate(g, s, m),
+	}
+
+	chosen := -1
+	if o.strategy == StrategyAuto {
+		for i, c := range cands {
+			if !c.Viable {
+				continue
+			}
+			if chosen < 0 || c.EstComm < cands[chosen].EstComm {
+				chosen = i
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("subgraphmr: no viable strategy for sample %v", s)
+		}
+	} else {
+		for i, c := range cands {
+			if c.Strategy == o.strategy {
+				chosen = i
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("subgraphmr: unknown strategy %v", o.strategy)
+		}
+		if !cands[chosen].Viable {
+			return nil, fmt.Errorf("subgraphmr: strategy %v not viable here: %s", o.strategy, cands[chosen].Reason)
+		}
+	}
+
+	plan := &QueryPlan{
+		Strategy:     cands[chosen].Strategy,
+		Chosen:       cands[chosen],
+		Candidates:   cands,
+		NumCQs:       len(qs),
+		MemoryBudget: o.memoryBudget,
+		graph:        g,
+		sample:       s,
+		opts:         o,
+	}
+	if o.memoryBudget > 0 && plan.Chosen.EstShuffleBytes > o.memoryBudget {
+		plan.PredictedSpill = true
+	}
+	return plan, nil
+}
+
+// Graph returns the data graph the plan was built for.
+func (p *QueryPlan) Graph() *Graph { return p.graph }
+
+// Sample returns the sample graph the plan was built for.
+func (p *QueryPlan) Sample() *Sample { return p.sample }
+
+// planCQs compiles the CQ set the share-based candidates are costed on —
+// the Section 5 generator when WithCycleCQs is set, otherwise the general
+// Section 3 pipeline. Mirrors core's CQ construction so plan estimates
+// match execution.
+func planCQs(s *Sample, o planOpts) ([]*CQ, error) {
+	if o.cycleCQs {
+		if d, reg := s.IsRegular(); !reg || d != 2 {
+			return nil, fmt.Errorf("subgraphmr: WithCycleCQs requires a cycle sample, got %v", s)
+		}
+		var qs []*CQ
+		for _, c := range cycles.Generate(s.P()) {
+			qs = append(qs, c.CQ)
+		}
+		return qs, nil
+	}
+	return cq.MergeByOrientation(cq.GenerateForSample(s)), nil
+}
+
+// resolveBuckets picks the bucket count for bucket-style strategies: the
+// explicit override, or the shared Theorem 4.2 derivation — the same
+// helper execution uses, so plan and job cannot diverge.
+func resolveBuckets(p int, o planOpts) int {
+	if o.buckets > 0 {
+		return o.buckets
+	}
+	k := o.targetReducers
+	if k <= 0 {
+		k = 1024
+	}
+	return shares.BucketsForReducers(k, p)
+}
+
+func finishCandidate(c Candidate, m int64) Candidate {
+	c.EstComm = int64(c.CommPerEdge * float64(m))
+	c.EstShuffleBytes = c.EstComm * planPairOverhead
+	return c
+}
+
+// bucketCandidate costs the Section 4.5 bucket-oriented strategy (and the
+// Theorem 6.1 decomposed conversion, which ships edges identically — it
+// differs only in reducer-side algorithm, so it never beats bucket on
+// communication and Auto prefers bucket by order).
+func bucketCandidate(st PlanStrategy, p int, m int64, o planOpts) Candidate {
+	b := resolveBuckets(p, o)
+	return finishCandidate(Candidate{
+		Strategy:    st,
+		Viable:      true,
+		Buckets:     b,
+		Shares:      uniformIntShares(p, b),
+		Jobs:        1,
+		Rounds:      1,
+		Reducers:    int64(shares.UsefulReducers(b, p)),
+		CommPerEdge: shares.BucketEdgeReplication(b, p),
+	}, m)
+}
+
+// variableCandidate costs the Section 4.3 variable-oriented strategy at
+// the integer shares execution will actually use.
+func variableCandidate(p int, m int64, qs []*CQ, o planOpts) Candidate {
+	k := float64(o.targetReducers)
+	if k <= 0 {
+		k = 1024
+	}
+	model := shares.VariableOrientedModel(p, qs)
+	sol, err := model.Solve(k)
+	if err != nil {
+		return Candidate{Strategy: StrategyVariableOriented, Reason: err.Error()}
+	}
+	intShares := model.RoundShares(sol.Shares, k)
+	fs := make([]float64, p)
+	var reducers int64 = 1
+	for v, sh := range intShares {
+		fs[v] = float64(sh)
+		reducers *= int64(sh)
+	}
+	return finishCandidate(Candidate{
+		Strategy:    StrategyVariableOriented,
+		Viable:      true,
+		Shares:      intShares,
+		Jobs:        1,
+		Rounds:      1,
+		Reducers:    reducers,
+		CommPerEdge: model.CostPerEdge(fs),
+	}, m)
+}
+
+// cqCandidate costs the Section 4.1 strategy: one job per merged CQ, each
+// with its own optimized shares; the total cost is the sum over jobs.
+func cqCandidate(p int, m int64, qs []*CQ, o planOpts) Candidate {
+	k := float64(o.targetReducers)
+	if k <= 0 {
+		k = 1024
+	}
+	var (
+		jobShares [][]int
+		reducers  int64
+		comm      float64
+	)
+	for _, q := range qs {
+		model := shares.ModelFromCQ(q)
+		sol, err := model.Solve(k)
+		if err != nil {
+			return Candidate{Strategy: StrategyCQOriented, Reason: err.Error()}
+		}
+		intShares := model.RoundShares(sol.Shares, k)
+		fs := make([]float64, p)
+		var r int64 = 1
+		for v, sh := range intShares {
+			fs[v] = float64(sh)
+			r *= int64(sh)
+		}
+		jobShares = append(jobShares, intShares)
+		reducers += r
+		comm += model.CostPerEdge(fs)
+	}
+	return finishCandidate(Candidate{
+		Strategy:    StrategyCQOriented,
+		Viable:      true,
+		JobShares:   jobShares,
+		Jobs:        len(qs),
+		Rounds:      1,
+		Reducers:    reducers,
+		CommPerEdge: comm,
+	}, m)
+}
+
+// triangleCandidate costs the three Section 2 triangle algorithms using
+// their exact closed forms; non-triangle samples rule them out.
+func triangleCandidate(st PlanStrategy, s *Sample, m int64, o planOpts) Candidate {
+	if !isTriangleSample(s) {
+		return Candidate{Strategy: st, Reason: "triangle algorithms require the triangle sample"}
+	}
+	k := int64(o.targetReducers)
+	if k <= 0 {
+		k = 1024
+	}
+	var (
+		b        int
+		comm     float64
+		reducers int64
+	)
+	switch st {
+	case StrategyTrianglePartition:
+		b = triangle.BucketsForReducers(k, triangle.PartitionReducers)
+		if b < 3 {
+			b = 3
+		}
+		comm = triangle.PartitionCommPerEdge(b)
+		reducers = triangle.PartitionReducers(b)
+	case StrategyTriangleMultiway:
+		b = triangle.BucketsForReducers(k, triangle.MultiwayReducers)
+		comm = triangle.MultiwayCommPerEdge(b)
+		reducers = triangle.MultiwayReducers(b)
+	case StrategyTriangleBucketOrdered:
+		b = triangle.BucketsForReducers(k, triangle.BucketOrderedReducers)
+		comm = triangle.BucketOrderedCommPerEdge(b)
+		reducers = triangle.BucketOrderedReducers(b)
+	}
+	if o.buckets > 0 {
+		b = o.buckets
+		switch st {
+		case StrategyTrianglePartition:
+			if b < 3 {
+				return Candidate{Strategy: st, Reason: fmt.Sprintf("Partition needs b >= 3, got %d", b)}
+			}
+			comm, reducers = triangle.PartitionCommPerEdge(b), triangle.PartitionReducers(b)
+		case StrategyTriangleMultiway:
+			comm, reducers = triangle.MultiwayCommPerEdge(b), triangle.MultiwayReducers(b)
+		case StrategyTriangleBucketOrdered:
+			comm, reducers = triangle.BucketOrderedCommPerEdge(b), triangle.BucketOrderedReducers(b)
+		}
+	}
+	return finishCandidate(Candidate{
+		Strategy:    st,
+		Viable:      true,
+		Buckets:     b,
+		Shares:      uniformIntShares(3, b),
+		Jobs:        1,
+		Rounds:      1,
+		Reducers:    reducers,
+		CommPerEdge: comm,
+	}, m)
+}
+
+// twoRoundCandidate costs the cascade baseline from the data graph itself:
+// round 1 ships 2 pairs per edge, round 2 ships every materialized wedge
+// plus each edge once, so the total is 3m + W with W the exact wedge count
+// (an O(n + m) scan — the planner pays it to expose how badly the cascade
+// loses on skewed graphs).
+func twoRoundCandidate(g *Graph, s *Sample, m int64) Candidate {
+	if !isTriangleSample(s) {
+		return Candidate{Strategy: StrategyTwoRound, Reason: "the two-round cascade supports the triangle sample only"}
+	}
+	w := tworound.WedgeCount(g)
+	comm := 0.0
+	if m > 0 {
+		comm = float64(3*m+w) / float64(m)
+	}
+	return finishCandidate(Candidate{
+		Strategy:    StrategyTwoRound,
+		Viable:      true,
+		Jobs:        2,
+		Rounds:      2,
+		Reducers:    int64(g.NumNodes()) + m + w, // upper bound on distinct keys
+		CommPerEdge: comm,
+	}, m)
+}
+
+// isTriangleSample reports whether s is the triangle (the connected
+// 2-regular sample on three nodes).
+func isTriangleSample(s *Sample) bool {
+	d, reg := s.IsRegular()
+	return s.P() == 3 && reg && d == 2
+}
+
+func uniformIntShares(p, b int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Explain renders the plan: the chosen strategy with its predicted shape
+// (buckets/shares, reducers, jobs, communication, spill) followed by the
+// full candidate table in planner order, the chosen row starred.
+func (p *QueryPlan) Explain() string {
+	var sb strings.Builder
+	g, s := p.graph, p.sample
+	fmt.Fprintf(&sb, "query: enumerate %v (p=%d) in graph n=%d m=%d\n",
+		s, s.P(), g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(&sb, "plan: %v", p.Strategy)
+	if p.opts.strategy == StrategyAuto {
+		sb.WriteString(" (auto: lowest estimated communication)")
+	}
+	sb.WriteByte('\n')
+	c := p.Chosen
+	if c.Buckets > 0 {
+		fmt.Fprintf(&sb, "  buckets: b=%d\n", c.Buckets)
+	}
+	if len(c.Shares) > 0 {
+		fmt.Fprintf(&sb, "  shares: %v\n", c.Shares)
+	}
+	for i, js := range c.JobShares {
+		fmt.Fprintf(&sb, "  job %d shares: %v\n", i+1, js)
+	}
+	fmt.Fprintf(&sb, "  jobs: %d, rounds: %d, est. reducers: %d\n", c.Jobs, c.Rounds, c.Reducers)
+	fmt.Fprintf(&sb, "  est. communication: %.2f pairs/edge, %d total\n", c.CommPerEdge, c.EstComm)
+	fmt.Fprintf(&sb, "  CQs: %d\n", p.NumCQs)
+	if p.MemoryBudget > 0 {
+		verdict := "fits in memory"
+		if p.PredictedSpill {
+			verdict = "will spill to disk"
+		}
+		fmt.Fprintf(&sb, "  memory: est. shuffle %d bytes vs budget %d — predicted: %s\n",
+			c.EstShuffleBytes, p.MemoryBudget, verdict)
+	}
+	sb.WriteString("candidates:\n")
+	for _, cand := range p.Candidates {
+		marker := " "
+		if cand.Strategy == p.Strategy {
+			marker = "*"
+		}
+		if !cand.Viable {
+			fmt.Fprintf(&sb, "  %s %-24v not viable: %s\n", marker, cand.Strategy, cand.Reason)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s %-24v %10.2f pairs/edge  %12d total  reducers=%d\n",
+			marker, cand.Strategy, cand.CommPerEdge, cand.EstComm, cand.Reducers)
+	}
+	return sb.String()
+}

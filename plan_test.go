@@ -1,0 +1,294 @@
+package subgraphmr
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// planSamples is the acceptance corpus: the paper's Fig. 3/4 samples plus
+// the 5-cycle.
+func planSamples() []struct {
+	name string
+	s    *Sample
+} {
+	return []struct {
+		name string
+		s    *Sample
+	}{
+		{"triangle", Triangle()},
+		{"square", Square()},
+		{"lollipop", Lollipop()},
+		{"c5", CycleSample(5)},
+	}
+}
+
+// TestAutoPicksCheapest checks StrategyAuto selects the viable candidate
+// with the lowest estimated communication on every acceptance sample.
+func TestAutoPicksCheapest(t *testing.T) {
+	g := Gnm(300, 1200, 7)
+	for _, tc := range planSamples() {
+		plan, err := Plan(g, tc.s, WithTargetReducers(512))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if plan.Strategy == StrategyAuto {
+			t.Fatalf("%s: auto did not resolve to a concrete strategy", tc.name)
+		}
+		var cheapest int64 = -1
+		for _, c := range plan.Candidates {
+			if c.Viable && (cheapest < 0 || c.EstComm < cheapest) {
+				cheapest = c.EstComm
+			}
+		}
+		if plan.Chosen.EstComm != cheapest {
+			t.Errorf("%s: chose %v at %d est. pairs, cheapest viable candidate costs %d\n%s",
+				tc.name, plan.Strategy, plan.Chosen.EstComm, cheapest, plan.Explain())
+		}
+	}
+}
+
+// TestAutoPrefersSharesOnStars checks the planner actually switches
+// strategies when share optimization wins: a star's leaves all take share
+// 1, so variable-oriented ships far fewer copies than the uniform bucket
+// scheme.
+func TestAutoPrefersSharesOnStars(t *testing.T) {
+	g := Gnm(300, 1200, 7)
+	plan, err := Plan(g, StarSample(5), WithTargetReducers(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bucket, variable Candidate
+	for _, c := range plan.Candidates {
+		switch c.Strategy {
+		case StrategyBucketOriented:
+			bucket = c
+		case StrategyVariableOriented:
+			variable = c
+		}
+	}
+	if !bucket.Viable || !variable.Viable {
+		t.Fatalf("expected both CQ strategies viable:\n%s", plan.Explain())
+	}
+	if variable.EstComm >= bucket.EstComm {
+		t.Skipf("share optimization did not beat buckets on this star (%d vs %d)",
+			variable.EstComm, bucket.EstComm)
+	}
+	if plan.Strategy != StrategyVariableOriented {
+		t.Errorf("variable-oriented is cheapest (%d vs bucket %d) but auto chose %v",
+			variable.EstComm, bucket.EstComm, plan.Strategy)
+	}
+}
+
+// TestExplainMatchesExecution checks, per acceptance sample and strategy,
+// that the plan's predicted reducer/share configuration is exactly what
+// the executed jobs report, and that Explain renders it.
+func TestExplainMatchesExecution(t *testing.T) {
+	ctx := context.Background()
+	g := Gnm(200, 800, 5)
+	for _, tc := range planSamples() {
+		want := int64(len(BruteForce(g, tc.s)))
+		for _, st := range []PlanStrategy{StrategyAuto, StrategyBucketOriented, StrategyVariableOriented, StrategyCQOriented} {
+			label := fmt.Sprintf("%s/%v", tc.name, st)
+			plan, err := Plan(g, tc.s, WithStrategy(st), WithTargetReducers(256), WithSeed(5))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			res, err := Run(ctx, plan)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if res.Count != want {
+				t.Errorf("%s: count %d, oracle %d", label, res.Count, want)
+			}
+			explain := plan.Explain()
+			switch plan.Strategy {
+			case StrategyBucketOriented, StrategyDecomposed:
+				if !reflect.DeepEqual(res.Jobs[0].Shares, plan.Chosen.Shares) {
+					t.Errorf("%s: executed shares %v, plan predicted %v", label, res.Jobs[0].Shares, plan.Chosen.Shares)
+				}
+				if !strings.Contains(explain, fmt.Sprintf("b=%d", plan.Chosen.Buckets)) {
+					t.Errorf("%s: Explain does not show b=%d:\n%s", label, plan.Chosen.Buckets, explain)
+				}
+			case StrategyVariableOriented:
+				if !reflect.DeepEqual(res.Jobs[0].Shares, plan.Chosen.Shares) {
+					t.Errorf("%s: executed shares %v, plan predicted %v", label, res.Jobs[0].Shares, plan.Chosen.Shares)
+				}
+				if !strings.Contains(explain, fmt.Sprint(plan.Chosen.Shares)) {
+					t.Errorf("%s: Explain does not show shares %v:\n%s", label, plan.Chosen.Shares, explain)
+				}
+			case StrategyCQOriented:
+				if len(res.Jobs) != len(plan.Chosen.JobShares) {
+					t.Fatalf("%s: %d executed jobs, plan predicted %d", label, len(res.Jobs), len(plan.Chosen.JobShares))
+				}
+				for i, job := range res.Jobs {
+					if !reflect.DeepEqual(job.Shares, plan.Chosen.JobShares[i]) {
+						t.Errorf("%s job %d: executed shares %v, plan predicted %v", label, i, job.Shares, plan.Chosen.JobShares[i])
+					}
+				}
+			}
+			// Predicted communication per edge must match the executed
+			// jobs' model prediction (same models, same rounding).
+			var predicted float64
+			for _, job := range res.Jobs {
+				predicted += job.PredictedCommPerEdge
+			}
+			if diff := predicted - plan.Chosen.CommPerEdge; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s: executed predicted comm/edge %.4f, plan estimated %.4f", label, predicted, plan.Chosen.CommPerEdge)
+			}
+			// The plan's reducer estimate upper-bounds what actually
+			// received data.
+			var distinct int64
+			for _, job := range res.Jobs {
+				distinct += job.Metrics.DistinctKeys
+			}
+			if distinct > plan.Chosen.Reducers {
+				t.Errorf("%s: %d reducers received data, plan estimated at most %d", label, distinct, plan.Chosen.Reducers)
+			}
+		}
+	}
+}
+
+// TestUnifiedResultAcrossStrategies runs every strategy on the triangle
+// sample — including the Section 2 algorithms and the cascade — and checks
+// they agree with the oracle through the one Result shape.
+func TestUnifiedResultAcrossStrategies(t *testing.T) {
+	ctx := context.Background()
+	g := Gnm(150, 600, 11)
+	want := CountTriangles(g)
+	for _, st := range []PlanStrategy{
+		StrategyBucketOriented, StrategyVariableOriented, StrategyCQOriented,
+		StrategyDecomposed, StrategyTwoRound,
+		StrategyTrianglePartition, StrategyTriangleMultiway, StrategyTriangleBucketOrdered,
+	} {
+		plan, err := Plan(g, Triangle(), WithStrategy(st), WithTargetReducers(64), WithSeed(2))
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		res, err := Run(ctx, plan)
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if res.Count != want {
+			t.Errorf("%v: %d triangles, oracle %d", st, res.Count, want)
+		}
+		if int64(len(res.Instances)) != want {
+			t.Errorf("%v: materialized %d instances, count says %d", st, len(res.Instances), want)
+		}
+		if len(res.Jobs) == 0 || res.TotalComm() == 0 {
+			t.Errorf("%v: no job statistics in unified result", st)
+		}
+		if st == StrategyTwoRound && len(res.Jobs) != 2 {
+			t.Errorf("two-round cascade reported %d jobs, want one per round", len(res.Jobs))
+		}
+
+		// WithCountOnly: same exact count, nothing materialized.
+		planC, err := Plan(g, Triangle(), WithStrategy(st), WithTargetReducers(64), WithSeed(2), WithCountOnly())
+		if err != nil {
+			t.Fatalf("%v count-only: %v", st, err)
+		}
+		resC, err := Run(ctx, planC)
+		if err != nil {
+			t.Fatalf("%v count-only: %v", st, err)
+		}
+		if resC.Count != want || resC.Instances != nil {
+			t.Errorf("%v count-only: count=%d (want %d), instances=%d (want none)",
+				st, resC.Count, want, len(resC.Instances))
+		}
+	}
+}
+
+// TestPlanErrors covers the planner's validation paths.
+func TestPlanErrors(t *testing.T) {
+	g := Gnm(50, 120, 1)
+	if _, err := Plan(g, Square(), WithStrategy(StrategyTrianglePartition)); err == nil {
+		t.Error("triangle-only strategy accepted a square sample")
+	}
+	if _, err := Plan(g, Square(), WithStrategy(StrategyTwoRound)); err == nil {
+		t.Error("two-round cascade accepted a square sample")
+	}
+	if _, err := Plan(g, Lollipop(), WithCycleCQs()); err == nil {
+		t.Error("WithCycleCQs accepted a non-cycle sample")
+	}
+	if _, err := Plan(nil, Triangle()); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Plan(g, nil); err == nil {
+		t.Error("nil sample accepted")
+	}
+	disconnected, err := NewSample(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Plan(g, disconnected); err == nil {
+		t.Error("disconnected sample accepted")
+	}
+	if _, err := Plan(g, Triangle(), WithBuckets(400)); err == nil {
+		t.Error("bucket count over 255 accepted at Plan time")
+	}
+	if _, err := Plan(g, Triangle(), WithStrategy(StrategyTrianglePartition), WithBuckets(2)); err == nil {
+		t.Error("Partition with b=2 accepted at Plan time (needs b >= 3)")
+	}
+}
+
+// TestAutoNeverPicksUnrunnablePlan pins the WithBuckets(2) regression:
+// PartitionCommPerEdge(2) is 0, and the planner used to hand that bogus
+// zero-cost candidate to Auto, producing a plan Run rejects.
+func TestAutoNeverPicksUnrunnablePlan(t *testing.T) {
+	g := Gnm(60, 200, 1)
+	plan, err := Plan(g, Triangle(), WithBuckets(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy == StrategyTrianglePartition {
+		t.Fatalf("auto chose Partition with b=2, which cannot run:\n%s", plan.Explain())
+	}
+	res, err := Run(context.Background(), plan)
+	if err != nil {
+		t.Fatalf("auto-chosen plan failed to run: %v", err)
+	}
+	if res.Count != CountTriangles(g) {
+		t.Errorf("count %d, oracle %d", res.Count, CountTriangles(g))
+	}
+}
+
+// TestPredictedSpill checks the planner's spill prediction against the
+// engine: a tiny budget must be predicted to spill, and the executed run
+// must actually spill.
+func TestPredictedSpill(t *testing.T) {
+	g := Gnm(150, 600, 11)
+	plan, err := Plan(g, Triangle(), WithTargetReducers(64), WithMemoryBudget(4096), WithSpillDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.PredictedSpill {
+		t.Errorf("4 KiB budget against %d estimated pairs not predicted to spill", plan.Chosen.EstComm)
+	}
+	if !strings.Contains(plan.Explain(), "will spill") {
+		t.Errorf("Explain does not announce the predicted spill:\n%s", plan.Explain())
+	}
+	res, err := Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spilled int64
+	for _, job := range res.Jobs {
+		spilled += job.Metrics.SpilledPairs
+	}
+	if spilled == 0 {
+		t.Error("predicted spill but the engine spilled nothing")
+	}
+	if res.Count != CountTriangles(g) {
+		t.Errorf("count %d under spill, oracle %d", res.Count, CountTriangles(g))
+	}
+
+	roomy, err := Plan(g, Triangle(), WithTargetReducers(64), WithMemoryBudget(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.PredictedSpill {
+		t.Error("1 GiB budget predicted to spill")
+	}
+}

@@ -1,0 +1,252 @@
+package subgraphmr
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"subgraphmr/internal/core"
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/triangle"
+	"subgraphmr/internal/tworound"
+)
+
+// Run executes a plan and materializes its result: every instance of the
+// plan's sample in its data graph, exactly once, plus unified per-job
+// statistics — the same Result shape for all strategies, triangle
+// algorithms and the two-round cascade included. Cancelling ctx aborts the
+// running jobs (engine workers wind down, spill runs are removed) and
+// returns ctx.Err(). Under WithCountOnly, Result.Instances stays nil and
+// Result.Count is still exact.
+func Run(ctx context.Context, p *QueryPlan) (*Result, error) {
+	if err := checkRunnable(ctx, p); err != nil {
+		return nil, err
+	}
+	// The triangle algorithms and the cascade have no reducer-side counter:
+	// WithCountOnly runs them with a counting sink instead (Result.Count is
+	// Metrics.Outputs — the accepted deliveries — either way).
+	countingSink := func([3]Node) bool { return true }
+	switch p.Strategy {
+	case StrategyBucketOriented, StrategyVariableOriented, StrategyCQOriented, StrategyDecomposed:
+		return runCore(ctx, p, nil)
+	case StrategyTrianglePartition, StrategyTriangleMultiway, StrategyTriangleBucketOrdered:
+		if p.opts.countOnly {
+			return runTriangle(ctx, p, countingSink)
+		}
+		return runTriangle(ctx, p, nil)
+	case StrategyTwoRound:
+		if p.opts.countOnly {
+			return runTwoRound(ctx, p, countingSink)
+		}
+		return runTwoRound(ctx, p, nil)
+	}
+	return nil, fmt.Errorf("subgraphmr: cannot run strategy %v", p.Strategy)
+}
+
+// Stream executes a plan, delivering each instance to yield instead of
+// materializing Result.Instances. Calls to yield are serialized and block
+// the emitting reduce worker, so delivery is consumer-paced and the
+// output never accumulates in memory; the shuffle's grouped intermediate
+// state is still built before the first delivery, so bound it with
+// WithMemoryBudget when it may exceed RAM. Returning false from yield
+// stops the enumeration early with a nil error (remaining reducer groups
+// are skipped); cancelling ctx aborts it with ctx.Err(). WithCountOnly is
+// ignored — streaming always delivers. The returned Result carries the
+// (possibly partial) job metrics and Count — the number of instances
+// yield accepted.
+func Stream(ctx context.Context, p *QueryPlan, yield func([]Node) bool) (*Result, error) {
+	if err := checkRunnable(ctx, p); err != nil {
+		return nil, err
+	}
+	if yield == nil {
+		return nil, fmt.Errorf("subgraphmr: Stream requires a non-nil yield")
+	}
+	adapter := func(t [3]Node) bool { return yield([]Node{t[0], t[1], t[2]}) }
+	switch p.Strategy {
+	case StrategyBucketOriented, StrategyVariableOriented, StrategyCQOriented, StrategyDecomposed:
+		return runCore(ctx, p, yield)
+	case StrategyTrianglePartition, StrategyTriangleMultiway, StrategyTriangleBucketOrdered:
+		return runTriangle(ctx, p, adapter)
+	case StrategyTwoRound:
+		return runTwoRound(ctx, p, adapter)
+	}
+	return nil, fmt.Errorf("subgraphmr: cannot run strategy %v", p.Strategy)
+}
+
+// Instances executes a plan as a streaming iterator: instances are
+// delivered one at a time at the consumer's pace, so enumerations whose
+// output dwarfs memory can be consumed incrementally (the shuffle's
+// grouped intermediate state is separate — bound it with WithMemoryBudget
+// when it may exceed RAM). Breaking out of the range loop — or cancelling
+// ctx — tears the engine down promptly: remaining reducer groups are
+// skipped, spill files are removed, and no goroutines are left behind.
+// WithCountOnly is ignored — streaming always delivers. A cancelled or
+// expired context surfaces as a final iteration with a non-nil error (and
+// a nil instance slice).
+func Instances(ctx context.Context, p *QueryPlan) iter.Seq2[[]Node, error] {
+	return func(yield func([]Node, error) bool) {
+		if err := checkRunnable(ctx, p); err != nil {
+			yield(nil, err)
+			return
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		instances := make(chan []Node) // unbuffered: backpressure to the engine
+		errc := make(chan error, 1)
+		go func() {
+			_, err := Stream(ctx, p, func(phi []Node) bool {
+				select {
+				case instances <- phi:
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			})
+			errc <- err
+			close(instances)
+		}()
+
+		for phi := range instances {
+			if !yield(phi, nil) {
+				// Early break: tear down the engine and wait for it so no
+				// goroutines or spill files outlive the loop.
+				cancel()
+				for range instances {
+				}
+				<-errc
+				return
+			}
+		}
+		if err := <-errc; err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+func checkRunnable(ctx context.Context, p *QueryPlan) error {
+	if p == nil || p.graph == nil || p.sample == nil {
+		return fmt.Errorf("subgraphmr: nil or incomplete plan (build it with Plan)")
+	}
+	if ctx == nil {
+		return fmt.Errorf("subgraphmr: nil context")
+	}
+	return nil
+}
+
+// runCore executes the CQ-based strategies and the decomposed conversion
+// through internal/core, at exactly the bucket/share configuration the
+// plan predicts.
+func runCore(ctx context.Context, p *QueryPlan, sink func([]Node) bool) (*Result, error) {
+	var (
+		res *core.Result
+		err error
+	)
+	switch p.Strategy {
+	case StrategyDecomposed:
+		opt := p.opts.coreOptions(core.BucketOriented, p.Chosen.Buckets)
+		if sink == nil {
+			res, err = core.EnumerateDecomposedContext(ctx, p.graph, p.sample, nil, opt)
+		} else {
+			// Streaming always delivers: CountOnly would route matches to
+			// the reducer-side counter instead of the sink.
+			opt.CountOnly = false
+			res, err = core.EnumerateDecomposedStream(ctx, p.graph, p.sample, nil, opt, sink)
+		}
+	default:
+		var st core.Strategy
+		buckets := 0
+		switch p.Strategy {
+		case StrategyBucketOriented:
+			st, buckets = core.BucketOriented, p.Chosen.Buckets
+		case StrategyVariableOriented:
+			st = core.VariableOriented
+		case StrategyCQOriented:
+			st = core.CQOriented
+		}
+		opt := p.opts.coreOptions(st, buckets)
+		if sink == nil {
+			res, err = core.EnumerateContext(ctx, p.graph, p.sample, opt)
+		} else {
+			opt.CountOnly = false
+			res, err = core.EnumerateStream(ctx, p.graph, p.sample, opt, sink)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runTriangle executes one of the Section 2 triangle algorithms and adapts
+// its result into the unified Result shape.
+func runTriangle(ctx context.Context, p *QueryPlan, sink func([3]Node) bool) (*Result, error) {
+	b := p.Chosen.Buckets
+	cfg := p.opts.engineConfig()
+	var (
+		tr  triangle.Result
+		err error
+	)
+	switch p.Strategy {
+	case StrategyTrianglePartition:
+		tr, err = triangle.PartitionContext(ctx, p.graph, b, p.opts.seed, cfg, sink)
+	case StrategyTriangleMultiway:
+		tr, err = triangle.MultiwayContext(ctx, p.graph, b, p.opts.seed, cfg, sink)
+	case StrategyTriangleBucketOrdered:
+		tr, err = triangle.BucketOrderedContext(ctx, p.graph, b, p.opts.seed, cfg, sink)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Metrics.Outputs counts accepted deliveries in both modes (the
+	// materializing path accepts every triangle), so it is Count either way.
+	return &Result{
+		Instances: triplesToInstances(tr.Triangles),
+		Count:     tr.Metrics.Outputs,
+		Jobs: []JobStats{{
+			Label:                fmt.Sprintf("%v b=%d", p.Strategy, tr.Buckets),
+			Shares:               uniformIntShares(3, tr.Buckets),
+			PredictedCommPerEdge: p.Chosen.CommPerEdge,
+			OptimalCommPerEdge:   p.Chosen.CommPerEdge,
+			Metrics:              tr.Metrics,
+		}},
+	}, nil
+}
+
+// runTwoRound executes the cascade baseline and adapts its per-round
+// metrics into one JobStats entry per round.
+func runTwoRound(ctx context.Context, p *QueryPlan, sink func([3]Node) bool) (*Result, error) {
+	tr, err := tworound.TrianglesContext(ctx, p.graph, p.opts.engineConfig(), sink)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Instances: triplesToInstances(tr.Triangles),
+		Count:     tr.Round2.Outputs, // accepted deliveries in both modes
+	}
+	m := float64(p.graph.NumEdges())
+	for i, round := range tr.Chain.Rounds {
+		predicted := 2.0 // round 1: each edge plays two roles
+		if i == 1 && m > 0 {
+			predicted = float64(tr.Wedges)/m + 1 // wedges + the edge relation
+		}
+		res.Jobs = append(res.Jobs, JobStats{
+			Label:                round.Name,
+			PredictedCommPerEdge: predicted,
+			OptimalCommPerEdge:   predicted,
+			Metrics:              round.Metrics,
+		})
+	}
+	return res, nil
+}
+
+func triplesToInstances(tris [][3]graph.Node) [][]Node {
+	if tris == nil {
+		return nil
+	}
+	out := make([][]Node, len(tris))
+	for i, t := range tris {
+		out[i] = []Node{t[0], t[1], t[2]}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package subgraphmr
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkStreamingVsMaterialized pins the overhead of the three delivery
+// modes on the same plan: Run (materialize [][]Node), Stream (serialized
+// callback, no materialization), and Instances (iterator bridged over a
+// channel — the most convenient and the most synchronization-heavy). The
+// streaming modes trade a per-instance handoff for O(1) result memory.
+func BenchmarkStreamingVsMaterialized(b *testing.B) {
+	ctx := context.Background()
+	g := Gnm(800, 4000, 3)
+	plan, err := Plan(g, Triangle(), WithTargetReducers(256), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("run-materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := Run(ctx, plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Instances) == 0 {
+				b.Fatal("no instances")
+			}
+		}
+	})
+	b.Run("stream-callback", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var n int64
+			if _, err := Stream(ctx, plan, func([]Node) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("no instances")
+			}
+		}
+	})
+	b.Run("instances-iterator", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var n int64
+			for _, err := range Instances(ctx, plan) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			if n == 0 {
+				b.Fatal("no instances")
+			}
+		}
+	})
+	b.Run("instances-first-10", func(b *testing.B) {
+		// The early-exit payoff: take 10 instances and tear down.
+		for i := 0; i < b.N; i++ {
+			var n int64
+			for _, err := range Instances(ctx, plan) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n++; n == 10 {
+					break
+				}
+			}
+		}
+	})
+}

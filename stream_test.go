@@ -1,0 +1,332 @@
+package subgraphmr
+
+import (
+	"context"
+	"errors"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (background runtime goroutines may legitimately linger, so the
+// check retries before declaring a leak).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// k5Plan builds the acceptance workload: K5s in a large clique — every
+// 5-subset of K16 is an instance, so there is far more work than any
+// 10-instance prefix needs.
+func k5Plan(t *testing.T, opts ...Option) *QueryPlan {
+	t.Helper()
+	g := CompleteGraph(16)
+	plan, err := Plan(g, CliqueSample(5), append([]Option{WithTargetReducers(256), WithSeed(1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestInstancesEarlyBreak is the acceptance scenario: enumerating K5s in a
+// large clique and breaking after 10 instances must do fewer work units
+// than the full run, return promptly, and leak no goroutines.
+func TestInstancesEarlyBreak(t *testing.T) {
+	ctx := context.Background()
+	plan := k5Plan(t)
+
+	full, err := Run(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count == 0 {
+		t.Fatal("no K5s in K16?")
+	}
+
+	baseline := runtime.NumGoroutine()
+	got := 0
+	for phi, err := range Instances(ctx, plan) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(phi) != 5 {
+			t.Fatalf("instance has %d nodes, want 5", len(phi))
+		}
+		got++
+		if got == 10 {
+			break
+		}
+	}
+	if got != 10 {
+		t.Fatalf("broke after %d instances, want 10", got)
+	}
+	waitForGoroutines(t, baseline)
+
+	// The callback form exposes the partial metrics: breaking after 10
+	// must have skipped most of the reducer work the full run performed.
+	n := 0
+	partial, err := Stream(ctx, plan, func([]Node) bool {
+		n++
+		return n < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Count >= full.Count {
+		t.Errorf("early break delivered %d instances, full run %d", partial.Count, full.Count)
+	}
+	partialWork := partial.TotalReducerWork()
+	fullWork := full.TotalReducerWork()
+	if partialWork >= fullWork {
+		t.Errorf("early break did %d work units, full run %d — no work was saved", partialWork, fullWork)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestInstancesCancelledContext checks a pre-cancelled and an expired
+// context both surface context errors promptly and leak nothing.
+func TestInstancesCancelledContext(t *testing.T) {
+	plan := k5Plan(t)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sawErr := false
+	for _, err := range Instances(ctx, plan) {
+		if err != nil {
+			sawErr = true
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("got %v, want context.Canceled", err)
+			}
+		}
+	}
+	if !sawErr {
+		t.Error("cancelled context produced no error")
+	}
+	waitForGoroutines(t, baseline)
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	sawErr = false
+	for _, err := range Instances(dctx, plan) {
+		if err != nil {
+			sawErr = true
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("got %v, want context.DeadlineExceeded", err)
+			}
+		}
+	}
+	if !sawErr {
+		t.Error("expired deadline produced no error")
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestInstancesMidRunCancel cancels while instances are flowing and checks
+// the iterator terminates with the context error well before finishing.
+func TestInstancesMidRunCancel(t *testing.T) {
+	plan := k5Plan(t)
+	full, err := Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var count int64
+	var ctxErr error
+	for phi, err := range Instances(ctx, plan) {
+		if err != nil {
+			ctxErr = err
+			continue
+		}
+		_ = phi
+		count++
+		if count == 5 {
+			cancel()
+		}
+	}
+	if ctxErr == nil {
+		t.Error("mid-run cancel surfaced no error")
+	} else if !errors.Is(ctxErr, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", ctxErr)
+	}
+	if count >= full.Count {
+		t.Errorf("cancel after 5 still delivered all %d instances", count)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestStreamSpillCleanup checks that streamed runs under a memory budget
+// leave no spill files behind — on completion, on early break, and on
+// cancellation.
+func TestStreamSpillCleanup(t *testing.T) {
+	ctx := context.Background()
+	assertEmpty := func(t *testing.T, dir, when string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				names := make([]string, len(entries))
+				for i, e := range entries {
+					names[i] = e.Name()
+				}
+				t.Fatalf("%s: %d spill files left in %s: %v", when, len(entries), dir, names)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Completed streamed run: must actually spill, then clean up.
+	dir := t.TempDir()
+	plan := k5Plan(t, WithMemoryBudget(1<<14), WithSpillDir(dir))
+	res, err := Stream(ctx, plan, func([]Node) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spilled int64
+	for _, job := range res.Jobs {
+		spilled += job.Metrics.SpilledPairs
+	}
+	if spilled == 0 {
+		t.Fatal("16 KiB budget did not spill — cleanup checks below would be vacuous")
+	}
+	assertEmpty(t, dir, "completed run")
+
+	// Early iterator break mid-spill.
+	dir = t.TempDir()
+	plan = k5Plan(t, WithMemoryBudget(1<<14), WithSpillDir(dir))
+	baseline := runtime.NumGoroutine()
+	n := 0
+	for _, err := range Instances(ctx, plan) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	waitForGoroutines(t, baseline)
+	assertEmpty(t, dir, "early break")
+
+	// Cancellation mid-run.
+	dir = t.TempDir()
+	plan = k5Plan(t, WithMemoryBudget(1<<14), WithSpillDir(dir))
+	cctx, cancel := context.WithCancel(ctx)
+	n = 0
+	for _, err := range Instances(cctx, plan) {
+		if err != nil {
+			break
+		}
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	cancel()
+	waitForGoroutines(t, baseline)
+	assertEmpty(t, dir, "cancelled run")
+}
+
+// TestStreamIgnoresCountOnly pins the documented contract: a plan built
+// with WithCountOnly still delivers every instance when executed through
+// Stream/Instances (counting without delivery is Run's job). Regression
+// test — the CQ strategies used to route matches to the reducer-side
+// counter and yield nothing.
+func TestStreamIgnoresCountOnly(t *testing.T) {
+	ctx := context.Background()
+	g := Gnm(100, 400, 13)
+	want := CountTriangles(g)
+	if want == 0 {
+		t.Fatal("test graph has no triangles")
+	}
+	for _, st := range []PlanStrategy{StrategyBucketOriented, StrategyDecomposed, StrategyTrianglePartition, StrategyTwoRound} {
+		plan, err := Plan(g, Triangle(), WithStrategy(st), WithTargetReducers(64), WithCountOnly())
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		var streamed int64
+		res, err := Stream(ctx, plan, func([]Node) bool { streamed++; return true })
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if streamed != want {
+			t.Errorf("%v: Stream under WithCountOnly delivered %d instances, want %d", st, streamed, want)
+		}
+		if res.Count != want {
+			t.Errorf("%v: Stream result count %d, want %d", st, res.Count, want)
+		}
+	}
+}
+
+// TestStreamMatchesMaterialized checks the streamed instance set is
+// exactly the materialized one for every strategy family.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	ctx := context.Background()
+	g := Gnm(150, 600, 11)
+	for _, tc := range []struct {
+		s  *Sample
+		st PlanStrategy
+	}{
+		{Triangle(), StrategyBucketOriented},
+		{Triangle(), StrategyTrianglePartition},
+		{Triangle(), StrategyTwoRound},
+		{Square(), StrategyVariableOriented},
+		{Square(), StrategyCQOriented},
+		{Square(), StrategyDecomposed},
+	} {
+		plan, err := Plan(g, tc.s, WithStrategy(tc.st), WithTargetReducers(64), WithSeed(4))
+		if err != nil {
+			t.Fatalf("%v: %v", tc.st, err)
+		}
+		res, err := Run(ctx, plan)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.st, err)
+		}
+		want := map[string]bool{}
+		for _, phi := range res.Instances {
+			want[tc.s.Key(phi)] = true
+		}
+		streamed := map[string]bool{}
+		for phi, err := range Instances(ctx, plan) {
+			if err != nil {
+				t.Fatalf("%v: %v", tc.st, err)
+			}
+			key := tc.s.Key(phi)
+			if streamed[key] {
+				t.Errorf("%v: instance %s streamed twice", tc.st, key)
+			}
+			streamed[key] = true
+			if !want[key] {
+				t.Errorf("%v: streamed %s not in materialized result", tc.st, key)
+			}
+		}
+		if len(streamed) != len(want) {
+			t.Errorf("%v: streamed %d distinct instances, materialized %d", tc.st, len(streamed), len(want))
+		}
+	}
+}

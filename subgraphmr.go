@@ -3,16 +3,31 @@
 // Afrati, Fotakis and Ullman, "Enumerating Subgraph Instances Using
 // Map-Reduce" (ICDE 2013).
 //
-// The public API wraps the internal packages:
+// The public API is organized around three verbs:
+//
+//   - Plan compiles a query — a (data graph, sample graph) pair plus
+//     functional options (WithStrategy, WithTargetReducers,
+//     WithMemoryBudget, WithSeed, …) — into an explainable QueryPlan. The
+//     default StrategyAuto costs every viable strategy with the paper's
+//     Section 4 share models and Section 2 closed forms and picks the
+//     cheapest; QueryPlan.Explain prints the full candidate table.
+//   - Run executes a plan under a context.Context and materializes a
+//     unified Result (instances, exact count, per-job metrics) for every
+//     strategy, the triangle algorithms and the two-round cascade
+//     included. Cancelling the context aborts the engine cleanly.
+//   - Instances executes a plan as a streaming iterator
+//     (iter.Seq2[[]Node, error]): instances arrive one at a time at the
+//     consumer's pace, breaking the loop or cancelling the context tears
+//     the engine down promptly, and output never has to fit in memory
+//     (bound the shuffle itself with WithMemoryBudget). Stream is the
+//     callback-shaped equivalent that also returns metrics.
+//
+// Supporting surface:
 //
 //   - Data graphs: build with NewGraphBuilder or the generators (Gnm,
 //     PowerLaw, CycleGraph, …), or load with ReadGraph.
 //   - Sample graphs: the catalog (Triangle, Square, Lollipop, CycleSample,
 //     …) or NewSample for custom patterns.
-//   - Enumerate runs the paper's one-round map-reduce algorithm under a
-//     chosen processing strategy (bucket-oriented, variable-oriented or
-//     CQ-oriented) on an in-process engine that meters communication cost
-//     (key-value pairs), reducers used, skew and reducer work.
 //   - The serial algorithms of Sections 6–7 (SerialTriangles, OddCycles,
 //     EnumerateByDecomposition, EnumerateBoundedDegree) are exposed for
 //     single-machine use and as baselines.
@@ -24,7 +39,10 @@
 //     and compose multi-round jobs with NewChain/RunRound. Setting
 //     EngineConfig.MemoryBudget bounds reduce-worker memory — beyond it
 //     the engine spills sorted runs to disk and merge-streams them into
-//     the reducers; see docs/ARCHITECTURE.md.
+//     the reducers; see docs/ARCHITECTURE.md and docs/API.md.
+//
+// The pre-Plan entry points (Enumerate, TrianglePartition, …) survive as
+// deprecated wrappers; docs/API.md has the migration table.
 //
 // Every enumeration method produces each instance exactly once; instances
 // are reported as assignments of data nodes to sample variables.
@@ -133,6 +151,10 @@ func RunRound[I any, K comparable, V any, O any](c *Chain, j MapReduceJob[I, K, 
 
 // Enumerate finds every instance of s in g exactly once using single-round
 // map-reduce jobs (see Options for strategy, reducer budget and seeds).
+//
+// Deprecated: use Plan with WithStrategy and Run (or Instances for
+// streaming delivery); the unified API adds context cancellation,
+// automatic strategy selection and explainable cost estimates.
 func Enumerate(g *Graph, s *Sample, opt Options) (*Result, error) {
 	return core.Enumerate(g, s, opt)
 }
@@ -142,6 +164,9 @@ func Enumerate(g *Graph, s *Sample, opt Options) (*Result, error) {
 // Theorem 7.2 algorithm on its bucket-local fragment and keeps only the
 // instances whose bucket multiset it owns. Pass nil parts to use the
 // optimal decomposition.
+//
+// Deprecated: use Plan with WithStrategy(StrategyDecomposed) and Run.
+// (Custom decomposition parts remain available through this wrapper.)
 func EnumerateDecomposed(g *Graph, s *Sample, parts []DecompositionPart, opt Options) (*Result, error) {
 	return core.EnumerateDecomposed(g, s, parts, opt)
 }
@@ -263,18 +288,28 @@ func EnumerateBoundedDegree(g *Graph, s *Sample) ([][]Node, int64, error) {
 
 // TrianglePartition runs the Suri–Vassilvitskii Partition algorithm
 // (Section 2.1) with b node groups.
+//
+// Deprecated: use Plan with WithStrategy(StrategyTrianglePartition),
+// WithBuckets(b) and WithSeed(seed), then Run — the unified Result adds
+// context cancellation and engine configuration.
 func TrianglePartition(g *Graph, b int, seed uint64) (TriangleResult, error) {
 	return triangle.Partition(g, b, seed, mapreduce.Config{})
 }
 
 // TriangleMultiway runs the plain multiway-join algorithm (Section 2.2)
 // with shares (b, b, b).
+//
+// Deprecated: use Plan with WithStrategy(StrategyTriangleMultiway),
+// WithBuckets(b) and WithSeed(seed), then Run.
 func TriangleMultiway(g *Graph, b int, seed uint64) (TriangleResult, error) {
 	return triangle.Multiway(g, b, seed, mapreduce.Config{})
 }
 
 // TriangleBucketOrdered runs the paper's improved algorithm (Section 2.3)
 // with b buckets.
+//
+// Deprecated: use Plan with WithStrategy(StrategyTriangleBucketOrdered),
+// WithBuckets(b) and WithSeed(seed), then Run.
 func TriangleBucketOrdered(g *Graph, b int, seed uint64) (TriangleResult, error) {
 	return triangle.BucketOrdered(g, b, seed, mapreduce.Config{})
 }
