@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output (read from stdin)
+// into a stable JSON document, so benchmark baselines can be committed and
+// diffed across PRs (see scripts/bench.sh and BENCH_PR4.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > out.json
+//	go run ./cmd/benchjson -baseline prev.json -note "PR N" < bench.txt
+//
+// Every benchmark line becomes one entry keyed by its name (the GOMAXPROCS
+// suffix is stripped so results compare across machines) with ns/op,
+// B/op, allocs/op and any custom metrics (comm/edge, pairs/op, …). With
+// -baseline, each entry also records the baseline's ns/op and allocs/op
+// and the resulting speedup factor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is the parsed measurement of one benchmark.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	SpeedupNs           float64 `json:"speedup_ns,omitempty"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	Note         string            `json:"note,omitempty"`
+	BaselineNote string            `json:"baseline_note,omitempty"`
+	Benchmarks   map[string]Result `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "prior benchjson output to embed as the comparison baseline")
+	note := flag.String("note", "", "free-form note recorded in the document")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc.Note = *note
+
+	if *baselinePath != "" {
+		if err := embedBaseline(doc, *baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads benchmark lines of the form
+//
+//	BenchmarkName/sub-16   15   75628233 ns/op   13.70 comm/edge   18559115 B/op   6101 allocs/op
+//
+// ignoring everything else.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		res := Result{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = value
+			case "B/op":
+				res.BytesPerOp = value
+			case "allocs/op":
+				res.AllocsPerOp = value
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = value
+			}
+		}
+		doc.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return doc, nil
+}
+
+// embedBaseline folds a prior document's ns/op and allocs/op into matching
+// entries and records the speedup factor.
+func embedBaseline(doc *Document, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Document
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	doc.BaselineNote = base.Note
+	for name, res := range doc.Benchmarks {
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		res.BaselineNsPerOp = b.NsPerOp
+		res.BaselineAllocsPerOp = b.AllocsPerOp
+		res.SpeedupNs = b.NsPerOp / res.NsPerOp
+		doc.Benchmarks[name] = res
+	}
+	return nil
+}

@@ -18,7 +18,8 @@
 // cost, reducers, skew, reducer work) are always printed; -print also
 // lists instances. -mem-budget bounds the reduce workers' memory: above it
 // the engine spills sorted runs to disk and merge-streams them into the
-// reducers.
+// reducers. -cpuprofile and -memprofile write standard pprof files on
+// exit, for profiling enumeration runs.
 package main
 
 import (
@@ -29,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"subgraphmr"
@@ -98,6 +101,8 @@ func run(args []string, out io.Writer) error {
 		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
 		explain    = fs.Bool("explain", false, "print the chosen plan and candidate costs without running")
 		jsonOut    = fs.Bool("json", false, "emit the plan and result as JSON")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -105,6 +110,12 @@ func run(args []string, out io.Writer) error {
 		}
 		return errUsage
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	s := subgraphmr.NamedSample(*sampleName)
 	if s == nil {
@@ -173,6 +184,43 @@ func run(args []string, out io.Writer) error {
 		printInstances(out, s, instances)
 	}
 	return nil
+}
+
+// startProfiles starts CPU profiling and/or arranges a heap profile,
+// returning a stop function run() defers: it stops the CPU profile and
+// writes the heap profile (after a GC, so live-heap numbers are accurate).
+// Empty paths disable the respective profile.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sgmr: creating mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sgmr: writing mem profile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 // plannedOptions carries the flag values for the Plan/Run path.

@@ -248,3 +248,38 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileFlags: -cpuprofile/-memprofile write non-empty pprof files on
+// exit, and profiling does not disturb the reported result.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	args := append([]string{"-sample", "triangle", "-strategy", "bucket", "-k", "64",
+		"-cpuprofile", cpu, "-memprofile", mem}, graphArgs...)
+	out := runSGMR(t, args...)
+	want := foundCount(t, runSGMR(t, append([]string{"-sample", "triangle", "-strategy", "serial"}, graphArgs...)...))
+	if got := foundCount(t, out); got != want {
+		t.Fatalf("profiled run found %d instances, want %d", got, want)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestProfileFlagBadPath: an uncreatable profile path is a clean error, not
+// a panic.
+func TestProfileFlagBadPath(t *testing.T) {
+	var out strings.Builder
+	err := run(append([]string{"-sample", "triangle", "-cpuprofile",
+		filepath.Join(t.TempDir(), "missing-dir", "cpu.pprof")}, graphArgs...), &out)
+	if err == nil || !strings.Contains(err.Error(), "cpu profile") {
+		t.Fatalf("expected cpu profile error, got %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"subgraphmr/internal/graph"
+)
+
+// TestEdgeCodecRoundTrip: keys and values survive the spill encoding.
+func TestEdgeCodecRoundTrip(t *testing.T) {
+	c := edgeCodec{}
+	kb := c.AppendKey(nil, "\x01\x02\x03")
+	k, err := c.DecodeKey(kb)
+	if err != nil || k != "\x01\x02\x03" {
+		t.Fatalf("key round trip: %q %v", k, err)
+	}
+	vb := c.AppendValue(nil, graph.Edge{U: 7, V: 1 << 20})
+	e, err := c.DecodeValue(vb)
+	if err != nil || e != (graph.Edge{U: 7, V: 1 << 20}) {
+		t.Fatalf("value round trip: %v %v", e, err)
+	}
+	if _, err := c.DecodeValue(vb[:5]); err == nil {
+		t.Fatal("truncated edge should fail to decode")
+	}
+}
+
+// TestEdgeCodecEncodeZeroAlloc pins the allocation-free encode path: with a
+// pre-sized destination buffer, appending keys and values never allocates
+// (the spiller reuses one scratch buffer per run, so this is the spill hot
+// path's cost model).
+func TestEdgeCodecEncodeZeroAlloc(t *testing.T) {
+	c := edgeCodec{}
+	dst := make([]byte, 0, 64)
+	key := "\x00\x01\x02\x03"
+	e := graph.Edge{U: 123456, V: 654321}
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = c.AppendKey(dst[:0], key)
+		dst = c.AppendValue(dst, e)
+	}); allocs != 0 {
+		t.Fatalf("edge codec encode allocates: %v allocs/run", allocs)
+	}
+}

@@ -23,7 +23,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"subgraphmr/internal/cq"
@@ -263,27 +262,27 @@ func bucketOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []
 	less := graph.HashLess(h)
 
 	mapper := bucketEdgeMapper(h, p, b)
-	evals := makeEvaluators(qs)
+	evals := cq.NewEvaluatorSet(qs) // compiled once per job, shared by all reducers
 	var counted atomic.Int64
 	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
 		local := graph.SparseFromEdges(edges)
 		instBuckets := make([]int, p)
-		for _, ev := range evals {
-			ctx.AddWork(ev.Run(local, less, func(phi []graph.Node) {
-				for i, u := range phi {
-					instBuckets[i] = h.Bucket(u)
-				}
-				sort.Ints(instBuckets)
-				if bucketKey(instBuckets) != key {
-					return
-				}
-				if opt.CountOnly {
-					counted.Add(1)
-				} else {
-					emit(phi)
-				}
-			}))
-		}
+		ctx.AddWork(evals.EvaluateAll(local, less, func(phi []graph.Node) {
+			for i, u := range phi {
+				instBuckets[i] = h.Bucket(u)
+			}
+			sortSmallInts(instBuckets)
+			if !bucketsEqualKey(instBuckets, key) {
+				return
+			}
+			if opt.CountOnly {
+				counted.Add(1)
+			} else {
+				// phi is the evaluator's scratch: copy only the owned
+				// matches that actually leave the reducer.
+				emit(append([]graph.Node(nil), phi...))
+			}
+		}))
 	}
 	instances, metrics, err := runEnumJob(ctx, mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
 		Name:   fmt.Sprintf("bucket-oriented b=%d", b),
@@ -323,43 +322,85 @@ func resultCount(opt Options, sink func([]graph.Node) bool, counted int64, insta
 // bucketEdgeMapper returns the Section 4.5 mapper: each edge is shipped to
 // the C(b+p-3, p-2) reducers whose bucket multiset contains the buckets of
 // both its endpoints. Shared by the bucket-oriented CQ strategy and the
-// Theorem 6.1 decomposition conversion.
+// Theorem 6.1 decomposition conversion. Distinct nondecreasing completions
+// yield distinct multiset keys once the two fixed edge buckets are merged
+// in, so no per-edge dedup structure is needed; the only allocation per
+// emitted key is the key string itself.
 func bucketEdgeMapper(h graph.NodeHash, p, b int) mapreduce.Mapper[graph.Edge, string, graph.Edge] {
 	return func(e graph.Edge, emit func(string, graph.Edge)) {
 		hu, hv := h.Bucket(e.U), h.Bucket(e.V)
-		buckets := make([]int, p)
-		seen := make(map[string]bool)
+		if p == 2 {
+			emit(ownedKey(nil, nil, hu, hv), e)
+			return
+		}
+		completion := make([]int, p-2)
+		scratch := make([]byte, 0, p)
 		var fill func(idx, min int)
 		fill = func(idx, min int) {
 			if idx == p-2 {
-				key := ownedKey(buckets[:p-2], hu, hv)
-				if !seen[key] {
-					seen[key] = true
-					emit(key, e)
-				}
+				emit(ownedKey(scratch, completion, hu, hv), e)
 				return
 			}
 			for w := min; w < b; w++ {
-				buckets[idx] = w
+				completion[idx] = w
 				fill(idx+1, w)
 			}
-		}
-		if p == 2 {
-			emit(ownedKey(nil, hu, hv), e)
-			return
 		}
 		fill(0, 0)
 	}
 }
 
 // ownedKey builds the sorted multiset key from the p-2 completion buckets
-// (already nondecreasing) merged with the two edge buckets.
-func ownedKey(completion []int, hu, hv int) string {
-	all := make([]int, 0, len(completion)+2)
-	all = append(all, completion...)
-	all = append(all, hu, hv)
-	sort.Ints(all)
-	return bucketKey(all)
+// (already nondecreasing) merged with the two edge buckets, assembling the
+// bytes in scratch so only the returned string allocates.
+func ownedKey(scratch []byte, completion []int, hu, hv int) string {
+	k := scratch[:0]
+	for _, w := range completion {
+		k = append(k, byte(w))
+	}
+	k = insertByteSorted(k, byte(hu))
+	k = insertByteSorted(k, byte(hv))
+	return string(k)
+}
+
+// insertByteSorted inserts x into the nondecreasing byte slice in place.
+func insertByteSorted(k []byte, x byte) []byte {
+	i := len(k)
+	k = append(k, 0)
+	for i > 0 && k[i-1] > x {
+		k[i] = k[i-1]
+		i--
+	}
+	k[i] = x
+	return k
+}
+
+// sortSmallInts insertion-sorts a tiny bucket vector in place (p is the
+// sample arity, so the per-match sort.Ints machinery is not worth it).
+func sortSmallInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// bucketsEqualKey reports whether the sorted bucket vector encodes to the
+// reducer key, without materializing the encoding.
+func bucketsEqualKey(buckets []int, key string) bool {
+	if len(buckets) != len(key) {
+		return false
+	}
+	for i, v := range buckets {
+		if byte(v) != key[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // bucketsForReducers returns the largest b with C(b+p-1, p) ≤ k (at least 1).
@@ -458,14 +499,14 @@ func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model 
 	}
 
 	mapper := func(e graph.Edge, emit func(string, graph.Edge)) {
-		buckets := make([]int, p)
+		scratch := make([]byte, p)
 		for _, bind := range binds {
-			buckets[bind.lo] = hashes[bind.lo].Bucket(e.U)
-			buckets[bind.hi] = hashes[bind.hi].Bucket(e.V)
+			scratch[bind.lo] = byte(hashes[bind.lo].Bucket(e.U))
+			scratch[bind.hi] = byte(hashes[bind.hi].Bucket(e.V))
 			var fill func(v int)
 			fill = func(v int) {
 				if v == p {
-					emit(bucketKey(buckets), e)
+					emit(string(scratch), e) // the key string is the only per-key allocation
 					return
 				}
 				if v == bind.lo || v == bind.hi {
@@ -473,31 +514,31 @@ func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model 
 					return
 				}
 				for w := 0; w < intShares[v]; w++ {
-					buckets[v] = w
+					scratch[v] = byte(w)
 					fill(v + 1)
 				}
 			}
 			fill(0)
 		}
 	}
-	evals := makeEvaluators(qs)
+	evals := cq.NewEvaluatorSet(qs) // compiled once per job, shared by all reducers
 	var counted atomic.Int64
 	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
 		local := graph.SparseFromEdges(edges)
-		for _, ev := range evals {
-			ctx.AddWork(ev.Run(local, graph.NaturalLess, func(phi []graph.Node) {
-				for v, u := range phi {
-					if hashes[v].Bucket(u) != int(key[v]) {
-						return
-					}
+		ctx.AddWork(evals.EvaluateAll(local, graph.NaturalLess, func(phi []graph.Node) {
+			for v, u := range phi {
+				if hashes[v].Bucket(u) != int(key[v]) {
+					return
 				}
-				if opt.CountOnly {
-					counted.Add(1)
-				} else {
-					emit(phi)
-				}
-			}))
-		}
+			}
+			if opt.CountOnly {
+				counted.Add(1)
+			} else {
+				// phi is the evaluator's scratch: copy only the owned
+				// matches that actually leave the reducer.
+				emit(append([]graph.Node(nil), phi...))
+			}
+		}))
 	}
 	instances, metrics, err := runEnumJob(ctx, mapreduce.Job[graph.Edge, string, graph.Edge, []graph.Node]{
 		Name:   label,
@@ -522,14 +563,6 @@ func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model 
 	}
 	count := resultCount(opt, sink, counted.Load(), instances, metrics)
 	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}}, nil
-}
-
-func makeEvaluators(qs []*cq.CQ) []*cq.Evaluator {
-	evals := make([]*cq.Evaluator, len(qs))
-	for i, q := range qs {
-		evals[i] = cq.NewEvaluator(q)
-	}
-	return evals
 }
 
 func cqStrings(qs []*cq.CQ) []string {

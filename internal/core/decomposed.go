@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"subgraphmr/internal/graph"
@@ -87,8 +86,8 @@ func enumerateDecomposed(ctx context.Context, g *graph.Graph, s *sample.Sample, 
 			for i, u := range phi {
 				instBuckets[i] = h.Bucket(u)
 			}
-			sort.Ints(instBuckets)
-			if bucketKey(instBuckets) != key {
+			sortSmallInts(instBuckets)
+			if !bucketsEqualKey(instBuckets, key) {
 				continue
 			}
 			if opt.CountOnly {

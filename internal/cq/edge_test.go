@@ -35,7 +35,8 @@ func TestNonExactSimplification(t *testing.T) {
 	local := graph.SparseFromEdges(graph.CompleteGraph(3).Edges())
 	var got [][]graph.Node
 	NewEvaluator(m).Run(local, graph.NaturalLess, func(phi []graph.Node) {
-		got = append(got, phi)
+		// phi is the evaluator's scratch buffer: copy to retain.
+		got = append(got, append([]graph.Node(nil), phi...))
 	})
 	// Assignments (X,Y,Z) with edge X-Y present, X<Y, and rank order in
 	// {XYZ, ZXY}: XYZ: (0,1,2); ZXY: (1,2,0). (XZY, e.g. (0,2,1), must be

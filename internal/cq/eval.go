@@ -1,24 +1,47 @@
 package cq
 
 import (
-	"sort"
+	"fmt"
 
 	"subgraphmr/internal/graph"
 )
 
-// Evaluator runs one or more CQs over (fragments of) a data graph, as the
-// reducers of Section 4 do. The evaluation is a backtracking multiway join:
+// Evaluator runs one CQ over (fragments of) a data graph, as the reducers
+// of Section 4 do. The evaluation is a backtracking multiway join:
 // variables are bound in an order where each new variable is adjacent in
 // the sample graph to an already-bound one, candidates come from adjacency
 // lists, and the arithmetic condition prunes partial assignments and
 // filters complete ones.
+//
+// An Evaluator holds only the compiled join plan and is safe for concurrent
+// use; all per-run mutable state lives in a scratch frame allocated once
+// per Run (or once per EvaluatorSet.EvaluateAll call and shared across the
+// set's CQs).
 type Evaluator struct {
 	q        *CQ
 	plan     []int       // variable binding order
 	planPos  []int       // position of each variable in plan
 	anchor   []int       // for each plan step, an earlier-bound sample-neighbor (-1 if none)
-	checks   [][]Subgoal // subgoals to verify when binding plan[i]
+	anchorSG []Subgoal   // the subgoal between plan[i] and anchor[i] (valid when anchor[i] >= 0)
+	checks   [][]Subgoal // remaining subgoals to verify when binding plan[i]
 	lessCons [][]Pair    // LessCons to verify when binding plan[i]
+}
+
+// scratch is the reusable per-run state of an evaluation: the assignment
+// under construction and the final-check ordering buffers. One scratch
+// serves any number of sequential Run calls over CQs of the same arity.
+type scratch struct {
+	phi      []graph.Node
+	order    []int
+	orderKey []byte
+}
+
+func newScratch(p int) *scratch {
+	return &scratch{
+		phi:      make([]graph.Node, p),
+		order:    make([]int, p),
+		orderKey: make([]byte, p),
+	}
 }
 
 // NewEvaluator builds the join plan for q.
@@ -60,6 +83,7 @@ func NewEvaluator(q *CQ) *Evaluator {
 		ev.planPos[v] = i
 	}
 	ev.anchor = make([]int, p)
+	ev.anchorSG = make([]Subgoal, p)
 	ev.checks = make([][]Subgoal, p)
 	ev.lessCons = make([][]Pair, p)
 	for i, v := range ev.plan {
@@ -75,9 +99,15 @@ func NewEvaluator(q *CQ) *Evaluator {
 				continue
 			}
 			if ev.planPos[other] < i {
-				ev.checks[i] = append(ev.checks[i], sg)
 				if ev.anchor[i] == -1 {
+					// Candidates for plan[i] are drawn from the anchor's
+					// adjacency list, so this subgoal's edge is present by
+					// construction — only its orientation needs checking
+					// at runtime.
 					ev.anchor[i] = other
+					ev.anchorSG[i] = sg
+				} else {
+					ev.checks[i] = append(ev.checks[i], sg)
 				}
 			}
 		}
@@ -92,17 +122,25 @@ func NewEvaluator(q *CQ) *Evaluator {
 
 // Run enumerates every assignment φ (one data node per variable) satisfying
 // the CQ over the local edge set, under the node order less. It calls emit
-// with a fresh slice per match and returns the number of candidate
-// extensions examined (the evaluator's work, for convertibility metering).
+// once per match with the internal scratch assignment — valid only for the
+// duration of the call, so emit must copy phi if it retains it — and
+// returns the number of candidate extensions examined (the evaluator's
+// work, for convertibility metering). For best probe performance freeze the
+// local fragment first (graph.Sparse.Freeze; SparseFromEdges arrives
+// frozen).
 func (ev *Evaluator) Run(local *graph.Sparse, less graph.Less, emit func(phi []graph.Node)) int64 {
-	phi := make([]graph.Node, ev.q.P)
-	return ev.extend(local, less, phi, 0, emit)
+	return ev.run(local, less, newScratch(ev.q.P), emit)
 }
 
-func (ev *Evaluator) extend(local *graph.Sparse, less graph.Less, phi []graph.Node, step int, emit func([]graph.Node)) int64 {
+func (ev *Evaluator) run(local *graph.Sparse, less graph.Less, sc *scratch, emit func([]graph.Node)) int64 {
+	return ev.extend(local, less, sc, 0, emit)
+}
+
+func (ev *Evaluator) extend(local *graph.Sparse, less graph.Less, sc *scratch, step int, emit func([]graph.Node)) int64 {
+	phi := sc.phi
 	if step == len(ev.plan) {
-		if ev.finalCheck(phi, less) {
-			emit(append([]graph.Node(nil), phi...))
+		if ev.finalCheck(sc, less) {
+			emit(phi)
 		}
 		return 1
 	}
@@ -113,19 +151,37 @@ func (ev *Evaluator) extend(local *graph.Sparse, less graph.Less, phi []graph.No
 	} else {
 		candidates = local.Nodes()
 	}
+	// Bound-set bitmask: one bit per already-bound node (hashed into a
+	// word), computed once per step. A candidate whose bit is clear is
+	// certainly not a duplicate of a bound node; only hash collisions pay
+	// the O(step) confirmation scan.
+	var mask uint64
+	for s := 0; s < step; s++ {
+		mask |= 1 << (uint32(phi[ev.plan[s]]) & 63)
+	}
 	var work int64
 	for _, c := range candidates {
 		work++
 		ok := true
-		for s := 0; s < step && ok; s++ {
-			if phi[ev.plan[s]] == c {
-				ok = false
+		if mask&(1<<(uint32(c)&63)) != 0 {
+			for s := 0; s < step && ok; s++ {
+				if phi[ev.plan[s]] == c {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
 			}
 		}
-		if !ok {
-			continue
-		}
 		phi[v] = c
+		if ev.anchor[step] >= 0 {
+			// The anchor edge exists by construction (c came from the
+			// anchor's adjacency list); only the orientation is open.
+			sg := ev.anchorSG[step]
+			if !less(phi[sg.Lo], phi[sg.Hi]) {
+				continue
+			}
+		}
 		for _, sg := range ev.checks[step] {
 			lo, hi := phi[sg.Lo], phi[sg.Hi]
 			if !less(lo, hi) || !local.HasEdge(lo, hi) {
@@ -142,32 +198,90 @@ func (ev *Evaluator) extend(local *graph.Sparse, less graph.Less, phi []graph.No
 			}
 		}
 		if ok {
-			work += ev.extend(local, less, phi, step+1, emit)
+			work += ev.extend(local, less, sc, step+1, emit)
 		}
 	}
 	return work
 }
 
-func (ev *Evaluator) finalCheck(phi []graph.Node, less graph.Less) bool {
+// finalCheck verifies the ordering-mode condition against the complete
+// assignment, using the scratch buffers: the variables are insertion-sorted
+// by their images under less and the resulting order is looked up in the
+// CQ's accepted-order set without allocating.
+func (ev *Evaluator) finalCheck(sc *scratch, less graph.Less) bool {
 	if ev.q.Orderings == nil {
 		return true // constraint mode: everything verified incrementally
 	}
-	order := make([]int, ev.q.P)
-	for i := range order {
+	p := ev.q.P
+	order := sc.order[:p]
+	for i := 0; i < p; i++ {
 		order[i] = i
 	}
-	sort.Slice(order, func(i, j int) bool { return less(phi[order[i]], phi[order[j]]) })
-	_, ok := ev.q.orderSet[orderKey(order)]
+	// Insertion sort: p is tiny (sample arity), and it avoids the
+	// sort.Slice closure machinery on the per-match path.
+	for i := 1; i < p; i++ {
+		v := order[i]
+		j := i - 1
+		for j >= 0 && less(sc.phi[v], sc.phi[order[j]]) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+	key := sc.orderKey[:p]
+	for i, v := range order {
+		key[i] = byte(v)
+	}
+	_, ok := ev.q.orderSet[string(key)] // no-alloc map probe
 	return ok
 }
 
-// EvaluateAll runs every CQ of the set over the local edge set and emits
-// each satisfying assignment once (distinct CQs of a well-formed set never
-// produce the same assignment). Returns total evaluator work.
-func EvaluateAll(cqs []*CQ, local *graph.Sparse, less graph.Less, emit func(phi []graph.Node)) int64 {
+// EvaluatorSet is a set of CQ evaluators compiled once and shared by every
+// reducer invocation of a job (the per-key compilation of join plans used
+// to dominate small-fragment reducers). The set is immutable and safe for
+// concurrent use by the engine's reduce workers.
+type EvaluatorSet struct {
+	p     int
+	evals []*Evaluator
+}
+
+// NewEvaluatorSet compiles every CQ of the set once. The CQs must share one
+// arity (as every CQ set generated for a single sample does) because the
+// set's evaluations share one scratch assignment; mixed arities panic.
+func NewEvaluatorSet(cqs []*CQ) *EvaluatorSet {
+	s := &EvaluatorSet{evals: make([]*Evaluator, len(cqs))}
+	for i, q := range cqs {
+		if i == 0 {
+			s.p = q.P
+		} else if q.P != s.p {
+			panic(fmt.Sprintf("cq: EvaluatorSet mixes arities %d and %d", s.p, q.P))
+		}
+		s.evals[i] = NewEvaluator(q)
+	}
+	return s
+}
+
+// Len returns the number of compiled CQs.
+func (s *EvaluatorSet) Len() int { return len(s.evals) }
+
+// EvaluateAll runs every compiled CQ over the local edge set and emits each
+// satisfying assignment once (distinct CQs of a well-formed set never
+// produce the same assignment). The phi passed to emit is a scratch buffer
+// shared across the whole call — copy it to retain it. Returns total
+// evaluator work.
+func (s *EvaluatorSet) EvaluateAll(local *graph.Sparse, less graph.Less, emit func(phi []graph.Node)) int64 {
+	sc := newScratch(s.p)
 	var work int64
-	for _, q := range cqs {
-		work += NewEvaluator(q).Run(local, less, emit)
+	for _, ev := range s.evals {
+		work += ev.run(local, less, sc, emit)
 	}
 	return work
+}
+
+// EvaluateAll compiles the CQ set and runs it over the local edge set; see
+// EvaluatorSet.EvaluateAll for the emit contract. Callers evaluating the
+// same set against many fragments (reducers above all) should compile once
+// with NewEvaluatorSet and reuse it instead.
+func EvaluateAll(cqs []*CQ, local *graph.Sparse, less graph.Less, emit func(phi []graph.Node)) int64 {
+	return NewEvaluatorSet(cqs).EvaluateAll(local, less, emit)
 }

@@ -1,7 +1,7 @@
 // Package graph provides the data-graph substrate for the subgraph
-// enumeration algorithms: a compact undirected graph with O(1) edge lookup,
-// degree-based and hash-based node orders, random generators and simple
-// edge-list I/O.
+// enumeration algorithms: a compact undirected graph with O(log Δ) edge
+// lookup over CSR adjacency, degree-based and hash-based node orders,
+// random generators and simple edge-list I/O.
 //
 // Terminology follows the paper: the data graph G has n nodes and m edges.
 // Nodes are dense 0-based int32 identifiers. Every edge is stored once in
@@ -38,12 +38,18 @@ func (e Edge) Key() uint64 {
 
 func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 
-// Graph is an immutable undirected simple graph. Build one with a Builder.
+// Graph is an immutable undirected simple graph in CSR (compressed sparse
+// row) layout: one shared neighbor slab indexed by per-node offsets, with
+// every adjacency list sorted ascending. Build one with a Builder.
+//
+// The flat layout keeps the enumeration inner loops allocation-free and
+// cache-friendly: Neighbors is a slab slice, HasEdge is a binary search
+// over the smaller endpoint's list, and CommonNeighbors is a sorted merge.
 type Graph struct {
 	n     int
-	adj   [][]Node
+	off   []int32 // len n+1; node u's neighbors are nbr[off[u]:off[u+1]]
+	nbr   []Node  // neighbor slab, 2m entries, each list sorted ascending
 	edges []Edge
-	set   map[uint64]struct{}
 }
 
 // NumNodes returns n, the number of nodes.
@@ -53,14 +59,14 @@ func (g *Graph) NumNodes() int { return g.n }
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // Degree returns the degree of node u.
-func (g *Graph) Degree(u Node) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u Node) int { return int(g.off[u+1] - g.off[u]) }
 
 // MaxDegree returns the maximum degree Δ over all nodes (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for u := range g.adj {
-		if len(g.adj[u]) > max {
-			max = len(g.adj[u])
+	for u := 0; u < g.n; u++ {
+		if d := int(g.off[u+1] - g.off[u]); d > max {
+			max = d
 		}
 	}
 	return max
@@ -68,20 +74,78 @@ func (g *Graph) MaxDegree() int {
 
 // Neighbors returns the sorted adjacency list of u. The returned slice is
 // shared with the graph and must not be modified.
-func (g *Graph) Neighbors(u Node) []Node { return g.adj[u] }
+func (g *Graph) Neighbors(u Node) []Node { return g.nbr[g.off[u]:g.off[u+1]] }
 
-// HasEdge reports whether the undirected edge {u, v} is present.
+// HasEdge reports whether the undirected edge {u, v} is present. It binary
+// searches the smaller endpoint's sorted adjacency list and never allocates.
 func (g *Graph) HasEdge(u, v Node) bool {
 	if u == v {
 		return false
 	}
-	_, ok := g.set[Edge{u, v}.Key()]
-	return ok
+	// Probe the lower-degree endpoint: O(log min(deg u, deg v)).
+	if g.off[u+1]-g.off[u] > g.off[v+1]-g.off[v] {
+		u, v = v, u
+	}
+	return containsSorted(g.nbr[g.off[u]:g.off[u+1]], v)
+}
+
+// CommonNeighbors appends the sorted common neighborhood N(u) ∩ N(v) to dst
+// and returns it. Pass a reused buffer (dst[:0]) to keep the verification
+// loops allocation-free.
+func (g *Graph) CommonNeighbors(u, v Node, dst []Node) []Node {
+	return IntersectSorted(g.Neighbors(u), g.Neighbors(v), dst)
 }
 
 // Edges returns all edges in canonical orientation, sorted lexicographically.
 // The returned slice is shared with the graph and must not be modified.
 func (g *Graph) Edges() []Edge { return g.edges }
+
+// containsSorted reports whether v occurs in the ascending list.
+func containsSorted(list []Node, v Node) bool {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == v
+}
+
+// IntersectSorted appends the intersection of two ascending node lists to
+// dst and returns it. Comparable lists are merged in O(len(a)+len(b)); when
+// one list is much shorter it binary-searches the short list into the long
+// one instead, so intersecting against a hub's adjacency costs
+// O(short·log(long)) rather than O(long).
+func IntersectSorted(a, b []Node, dst []Node) []Node {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) > 16*len(a)+8 {
+		for _, v := range a {
+			if containsSorted(b, v) {
+				dst = append(dst, v)
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
 
 // Builder accumulates edges for a Graph. Duplicate edges and self-loops are
 // ignored.
@@ -116,13 +180,11 @@ func (b *Builder) AddEdge(u, v Node) bool {
 // NumEdges returns the number of distinct edges added so far.
 func (b *Builder) NumEdges() int { return len(b.set) }
 
-// Graph freezes the builder into an immutable Graph.
+// Graph freezes the builder into an immutable CSR Graph.
 func (b *Builder) Graph() *Graph {
 	g := &Graph{
 		n:     b.n,
-		adj:   make([][]Node, b.n),
 		edges: make([]Edge, 0, len(b.set)),
-		set:   b.set,
 	}
 	for k := range b.set {
 		e := Edge{Node(k >> 32), Node(uint32(k))}
@@ -134,20 +196,26 @@ func (b *Builder) Graph() *Graph {
 		}
 		return g.edges[i].V < g.edges[j].V
 	})
-	deg := make([]int, b.n)
+	// CSR build: count degrees, prefix-sum offsets, then fill. Iterating the
+	// (U,V)-sorted edge list fills every adjacency list in ascending order:
+	// node u first receives its smaller neighbors (from edges (x,u), x
+	// ascending) and then its larger ones (from edges (u,y), y ascending).
+	g.off = make([]int32, b.n+1)
 	for _, e := range g.edges {
-		deg[e.U]++
-		deg[e.V]++
+		g.off[e.U+1]++
+		g.off[e.V+1]++
 	}
 	for u := 0; u < b.n; u++ {
-		g.adj[u] = make([]Node, 0, deg[u])
+		g.off[u+1] += g.off[u]
 	}
+	g.nbr = make([]Node, 2*len(g.edges))
+	cur := make([]int32, b.n)
+	copy(cur, g.off[:b.n])
 	for _, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], e.V)
-		g.adj[e.V] = append(g.adj[e.V], e.U)
-	}
-	for u := 0; u < b.n; u++ {
-		sort.Slice(g.adj[u], func(i, j int) bool { return g.adj[u][i] < g.adj[u][j] })
+		g.nbr[cur[e.U]] = e.V
+		cur[e.U]++
+		g.nbr[cur[e.V]] = e.U
+		cur[e.V]++
 	}
 	return g
 }

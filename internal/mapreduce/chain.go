@@ -26,6 +26,11 @@ type RoundStats struct {
 //
 // RunRound is a free function rather than a method because Go methods
 // cannot introduce the per-round type parameters.
+//
+// Rounds whose jobs share a (key, value) pair type also share the engine's
+// process-wide shuffle-batch free list (see recycle.go), so a multi-round
+// chain reuses round N's batch buffers in round N+1 instead of
+// re-allocating the shuffle from scratch.
 type Chain struct {
 	// Cfg is the engine configuration every round runs under.
 	Cfg Config

@@ -91,8 +91,8 @@ func (c *Context) AddWork(n int64) { c.work += n }
 type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
 
 // Reducer consumes all values grouped under one key. The values slice is
-// only valid for the duration of the call — the engine may reuse its backing
-// array for the next group (the external shuffle does) — so a reducer that
+// only valid for the duration of the call — both the in-memory group slab
+// and the external shuffle reuse its backing storage — so a reducer that
 // wants to keep values past its return must copy them.
 type Reducer[K comparable, V any, O any] func(ctx *Context, key K, values []V, emit func(O))
 
@@ -101,8 +101,12 @@ type Reducer[K comparable, V any, O any] func(ctx *Context, key K, values []V, e
 // the (ideally shorter) list of values actually shipped. A combiner must be
 // semantically idempotent with respect to the reducer — the reducer may see
 // combined values from several mappers (or several flushes of one mapper)
-// mixed together. Typical use is counting: values are partial counts, the
-// combiner returns their one-element sum, and the reducer sums again.
+// mixed together. The values slice is only valid for the duration of the
+// call (the engine recycles its backing array across flush windows);
+// returning it, or a sub-slice of it, is fine — the returned values are
+// shipped before the buffer is reused. Typical use is counting: values are
+// partial counts, the combiner returns their one-element sum, and the
+// reducer sums again.
 type Combiner[K comparable, V any] func(key K, values []V) []V
 
 // SumCombiner is the counting combiner: it collapses a key's buffered
@@ -339,12 +343,17 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 	for p := range chans {
 		chans[p] = make(chan []pair[K, V], 2*nm)
 	}
+	// Shuffle batches cycle through a process-wide per-type free list:
+	// mappers take recycled buffers, reduce workers return each batch once
+	// its pairs are folded into the group table (see recycle.go).
+	flist := freeListFor[K, V]()
 
 	// Reduce workers: each owns one partition, grouping batches as they
 	// arrive (concurrently with mapping) and reducing once its channel
-	// closes — from memory, or via the run merge when it spilled. On stop
-	// they keep draining their channel (so mappers never block forever) but
-	// skip grouping and reducing.
+	// closes — from the slab group table, or via the run merge when it
+	// spilled (the budgeted path keeps the map form its spiller
+	// serializes). On stop they keep draining their channel (so mappers
+	// never block forever) but skip grouping and reducing.
 	var (
 		rwg      sync.WaitGroup
 		distinct = make([]int64, np)
@@ -357,38 +366,51 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 		rwg.Add(1)
 		go func(p int) {
 			defer rwg.Done()
-			var sp *spiller[K, V]
+			var (
+				sp     *spiller[K, V]
+				groups map[K][]V         // budgeted (spillable) path
+				table  *groupTable[K, V] // in-memory path, O(keys) allocations
+			)
 			if budget > 0 {
 				sp = newSpiller(codec, cfg.SpillDir)
 				defer sp.cleanup()
+				groups = make(map[K][]V)
+			} else {
+				table = newGroupTable[K, V]()
 			}
-			groups := make(map[K][]V)
 			var est int64
 			for batch := range chans[p] {
 				if stop.Load() {
+					flist.put(batch)
 					continue // drain without grouping
+				}
+				if budget == 0 {
+					for _, kv := range batch {
+						table.add(kv.key, kv.val)
+					}
+					flist.put(batch)
+					continue
 				}
 				for _, kv := range batch {
 					vs, ok := groups[kv.key]
 					groups[kv.key] = append(vs, kv.val)
-					if budget > 0 {
-						if !ok {
-							est += spillKeyOverhead + int64(ksize(kv.key))
-						}
-						est += spillPairOverhead + int64(vsize(kv.val))
-						if est > budget {
-							if err := sp.spill(groups); err != nil {
-								errs[p] = err
-								stop.Store(true)
-								for range chans[p] { // unblock mappers
-								}
-								return
+					if !ok {
+						est += spillKeyOverhead + int64(ksize(kv.key))
+					}
+					est += spillPairOverhead + int64(vsize(kv.val))
+					if est > budget {
+						if err := sp.spill(groups); err != nil {
+							errs[p] = err
+							stop.Store(true)
+							for range chans[p] { // unblock mappers
 							}
-							groups = make(map[K][]V)
-							est = 0
+							return
 						}
+						groups = make(map[K][]V)
+						est = 0
 					}
 				}
+				flist.put(batch)
 			}
 			if stop.Load() {
 				// Cancelled or stopped early: nothing left to reduce; the
@@ -417,7 +439,7 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 					return
 				}
 				distinct[p], maxIn[p] = d, mi
-			} else {
+			} else if sp != nil {
 				distinct[p] = int64(len(groups))
 				for k, vs := range groups {
 					if stop.Load() {
@@ -428,6 +450,15 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 					}
 					j.Reduce(rctx, k, vs, emit)
 				}
+			} else {
+				distinct[p] = int64(table.numKeys())
+				maxIn[p] = table.forEach(func(k K, vs []V) bool {
+					if stop.Load() {
+						return false
+					}
+					j.Reduce(rctx, k, vs, emit)
+					return true
+				})
 			}
 			if sp != nil {
 				spills[p] = Metrics{SpilledPairs: sp.pairs, SpillBytes: sp.bytes, SpillFiles: sp.runs}
@@ -461,7 +492,7 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 			ship := func(k K, v V) {
 				p := partitionIndex(partition, k, np)
 				if bufs[p] == nil {
-					bufs[p] = make([]pair[K, V], 0, batch)
+					bufs[p] = flist.get(batch)
 				}
 				bufs[p] = append(bufs[p], pair[K, V]{k, v})
 				shipped[w]++
@@ -476,7 +507,12 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 			if j.Combine == nil {
 				emit = ship
 			} else {
+				// The held map survives flushes (clear keeps its buckets)
+				// and emptied value slices park on a spare stack for the
+				// next flush window, so steady-state combining allocates
+				// only when a key's value list outgrows its recycled cap.
 				held := make(map[K][]V)
+				var spare [][]V
 				heldValues := 0
 				limit := cfg.combinerBuffer()
 				flushCombined = func() {
@@ -484,12 +520,20 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 						for _, v := range j.Combine(k, vs) {
 							ship(k, v)
 						}
+						if len(spare) < 1024 {
+							spare = append(spare, vs[:0])
+						}
 					}
 					clear(held)
 					heldValues = 0
 				}
 				emit = func(k K, v V) {
-					held[k] = append(held[k], v)
+					vs, ok := held[k]
+					if !ok && len(spare) > 0 {
+						vs = spare[len(spare)-1]
+						spare = spare[:len(spare)-1]
+					}
+					held[k] = append(vs, v)
 					heldValues++
 					if heldValues >= limit {
 						flushCombined()
@@ -563,18 +607,55 @@ func Run[I any, K comparable, V any, O any](
 
 // ReducerLoads runs only the map phase and returns the sorted list of
 // per-reducer input sizes, for skew studies without paying for the reduce
-// computation.
+// computation. The map phase is sharded across cfg-many workers (as Run
+// shards it), each counting into a private table; the result is the merged,
+// sorted load vector and is deterministic regardless of parallelism.
 func ReducerLoads[I any, K comparable, V any](
 	cfg Config,
 	inputs []I,
 	mapFn Mapper[I, K, V],
 ) []int {
-	counts := make(map[K]int)
-	for _, in := range inputs {
-		mapFn(in, func(k K, _ V) { counts[k]++ })
+	nm := cfg.workers()
+	if nm > len(inputs) {
+		nm = len(inputs)
 	}
-	loads := make([]int, 0, len(counts))
-	for _, c := range counts {
+	if nm < 1 {
+		nm = 1
+	}
+	partials := make([]map[K]int, nm)
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + nm - 1) / nm
+	if chunk < 1 {
+		chunk = 1
+	}
+	for w := 0; w < nm; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			counts := make(map[K]int)
+			for i := lo; i < hi; i++ {
+				mapFn(inputs[i], func(k K, _ V) { counts[k]++ })
+			}
+			partials[w] = counts
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := make(map[K]int)
+	for _, counts := range partials {
+		for k, c := range counts {
+			merged[k] += c
+		}
+	}
+	loads := make([]int, 0, len(merged))
+	for _, c := range merged {
 		loads = append(loads, c)
 	}
 	sort.Ints(loads)

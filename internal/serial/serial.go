@@ -33,7 +33,7 @@ func Triangles(g *graph.Graph, emit func(a, b, c graph.Node)) int64 {
 	rank := g.DegreeRank()
 	n := g.NumNodes()
 	var work int64
-	var succ []graph.Node
+	var succ, common []graph.Node
 	for vi := 0; vi < n; vi++ {
 		v := graph.Node(vi)
 		succ = succ[:0]
@@ -42,14 +42,16 @@ func Triangles(g *graph.Graph, emit func(a, b, c graph.Node)) int64 {
 				succ = append(succ, u)
 			}
 		}
-		for i := 0; i < len(succ); i++ {
-			for j := i + 1; j < len(succ); j++ {
-				work++
-				u, w := succ[i], succ[j]
-				if g.HasEdge(u, w) {
-					a, b, c := sort3(v, u, w)
-					emit(a, b, c)
-				}
+		// Work is the candidate successor pairs examined, exactly as the
+		// pairwise HasEdge formulation counts them; the verification itself
+		// runs as a sorted merge of the remaining successors with N(u).
+		work += int64(len(succ)*(len(succ)-1)) / 2
+		for i := 0; i+1 < len(succ); i++ {
+			u := succ[i]
+			common = graph.IntersectSorted(succ[i+1:], g.Neighbors(u), common[:0])
+			for _, w := range common {
+				a, b, c := sort3(v, u, w)
+				emit(a, b, c)
 			}
 		}
 	}

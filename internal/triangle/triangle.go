@@ -18,7 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"subgraphmr/internal/graph"
 	"subgraphmr/internal/mapreduce"
@@ -114,19 +114,33 @@ func PartitionContext(ctx context.Context, g *graph.Graph, b int, seed uint64, c
 // the sorted distinct groups of its nodes, completed to three distinct
 // values with the smallest unused group numbers.
 func canonicalGroupTriple(h graph.NodeHash, b int, a, bb, c graph.Node) triple {
-	used := map[int]bool{}
-	var d []int
-	for _, u := range []graph.Node{a, bb, c} {
+	var d [3]int
+	nd := 0
+	for _, u := range [3]graph.Node{a, bb, c} {
 		g := h.Bucket(u)
-		if !used[g] {
-			used[g] = true
-			d = append(d, g)
+		dup := false
+		for i := 0; i < nd; i++ {
+			if d[i] == g {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d[nd] = g
+			nd++
 		}
 	}
-	for x := 0; len(d) < 3; x++ {
-		if !used[x] {
-			used[x] = true
-			d = append(d, x)
+	for x := 0; nd < 3; x++ {
+		used := false
+		for i := 0; i < nd; i++ {
+			if d[i] == x {
+				used = true
+				break
+			}
+		}
+		if !used {
+			d[nd] = x
+			nd++
 		}
 		if x > b {
 			panic("triangle: cannot complete group triple")
@@ -167,18 +181,34 @@ func MultiwayContext(ctx context.Context, g *graph.Graph, b int, seed uint64, cf
 	mapper := func(e graph.Edge, emit func(triple, taggedEdge)) {
 		u, v := e.U, e.V // u < v by canonical orientation
 		hu, hv := h.Bucket(u), h.Bucket(v)
-		keys := make(map[triple]roleMask, 3*b)
+		// Collect the ≤3b (key, role) pairs in a small scratch slice,
+		// merging the coinciding role copies by linear scan (footnote 1's
+		// dedup) — the previous map allocated per edge on the hot path.
+		type keyed struct {
+			k     triple
+			roles roleMask
+		}
+		keys := make([]keyed, 0, 3*b)
+		add := func(k triple, r roleMask) {
+			for i := range keys {
+				if keys[i].k == k {
+					keys[i].roles |= r
+					return
+				}
+			}
+			keys = append(keys, keyed{k, r})
+		}
 		for z := 0; z < b; z++ {
-			keys[triple{hu, hv, z}] |= roleXY
+			add(triple{hu, hv, z}, roleXY)
 		}
 		for x := 0; x < b; x++ {
-			keys[triple{x, hu, hv}] |= roleYZ
+			add(triple{x, hu, hv}, roleYZ)
 		}
 		for y := 0; y < b; y++ {
-			keys[triple{hu, y, hv}] |= roleXZ
+			add(triple{hu, y, hv}, roleXZ)
 		}
-		for k, roles := range keys {
-			emit(k, taggedEdge{e, roles})
+		for _, kr := range keys {
+			emit(kr.k, taggedEdge{e, kr.roles})
 		}
 	}
 	reducer := func(ctx *mapreduce.Context, key triple, edges []taggedEdge, emit func([3]graph.Node)) {
@@ -231,13 +261,10 @@ func BucketOrderedContext(ctx context.Context, g *graph.Graph, b int, seed uint6
 	h := graph.NodeHash{Seed: seed, B: b}
 	mapper := func(e graph.Edge, emit func(triple, graph.Edge)) {
 		i, j := h.Bucket(e.U), h.Bucket(e.V)
-		seen := make(map[triple]bool, b)
+		// The b keys {i,j,w} for w = 0..b-1 are distinct multisets, so no
+		// dedup structure is needed on this per-edge hot path.
 		for w := 0; w < b; w++ {
-			k := sortedTriple(i, j, w)
-			if !seen[k] {
-				seen[k] = true
-				emit(k, e)
-			}
+			emit(sortedTriple(i, j, w), e)
 		}
 	}
 	reducer := func(ctx *mapreduce.Context, key triple, edges []graph.Edge, emit func([3]graph.Node)) {
@@ -258,45 +285,58 @@ func BucketOrderedContext(ctx context.Context, g *graph.Graph, b int, seed uint6
 // trianglesInSparse enumerates each triangle of the local graph once
 // (emitted id-sorted) using the degree-ordered successor method — the same
 // O(m^{3/2}) serial algorithm, so reducer work stays convertible. Returns
-// the number of candidate pairs examined.
+// the number of candidate pairs examined (the pairwise count, although the
+// verification itself runs as a sorted merge over the frozen fragment).
 func trianglesInSparse(s *graph.Sparse, emit func(a, b, c graph.Node)) int64 {
+	s.Freeze()
 	nodes := s.Nodes()
-	rank := make(map[graph.Node]int, len(nodes))
-	order := append([]graph.Node(nil), nodes...)
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := s.Degree(order[i]), s.Degree(order[j])
-		if di != dj {
-			return di < dj
+	n := len(nodes)
+	deg := make([]int32, n)
+	for i := 0; i < n; i++ {
+		deg[i] = int32(len(s.NeighborsAt(i)))
+	}
+	// Index-space degree order: nodes are sorted, so index order is id
+	// order and the whole ordering works on flat arrays.
+	ord := make([]int32, n)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	slices.SortFunc(ord, func(a, b int32) int {
+		if deg[a] != deg[b] {
+			return int(deg[a] - deg[b])
 		}
-		return order[i] < order[j]
+		return int(a - b)
 	})
-	for pos, u := range order {
-		rank[u] = pos
+	rank := make([]int32, n)
+	for pos, i := range ord {
+		rank[i] = int32(pos)
 	}
 	var work int64
-	for _, v := range nodes {
-		var succ []graph.Node
-		for _, u := range s.Neighbors(v) {
-			if rank[u] > rank[v] {
+	var succ, common []graph.Node
+	for i := 0; i < n; i++ {
+		v := nodes[i]
+		succ = succ[:0]
+		for _, u := range s.NeighborsAt(i) {
+			if rank[s.IndexOf(u)] > rank[i] {
 				succ = append(succ, u)
 			}
 		}
-		for i := 0; i < len(succ); i++ {
-			for j := i + 1; j < len(succ); j++ {
-				work++
-				if s.HasEdge(succ[i], succ[j]) {
-					a, bb, c := v, succ[i], succ[j]
-					if a > bb {
-						a, bb = bb, a
-					}
-					if bb > c {
-						bb, c = c, bb
-					}
-					if a > bb {
-						a, bb = bb, a
-					}
-					emit(a, bb, c)
+		work += int64(len(succ)*(len(succ)-1)) / 2
+		for j := 0; j+1 < len(succ); j++ {
+			u := succ[j]
+			common = graph.IntersectSorted(succ[j+1:], s.Neighbors(u), common[:0])
+			for _, w := range common {
+				a, bb, c := v, u, w
+				if a > bb {
+					a, bb = bb, a
 				}
+				if bb > c {
+					bb, c = c, bb
+				}
+				if a > bb {
+					a, bb = bb, a
+				}
+				emit(a, bb, c)
 			}
 		}
 	}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench.sh — the reproducible benchmark harness behind BENCH_*.json.
+#
+# Runs the strategy, triangle and engine benchmarks with -benchmem and
+# writes a JSON trajectory point (ns/op, B/op, allocs/op, custom metrics
+# per benchmark) that future perf PRs diff against.
+#
+#   ./scripts/bench.sh                        # writes BENCH_PR4.json, 1s/bench
+#   BENCHTIME=1x ./scripts/bench.sh           # CI smoke: one iteration each
+#   OUT=/tmp/b.json BASELINE=BENCH_PR4.json ./scripts/bench.sh
+#                                             # compare a new run against the
+#                                             # committed baseline (embeds
+#                                             # speedup_ns per benchmark)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_PR4.json}"
+FILTER="${FILTER:-BenchmarkEnumerateStrategies|BenchmarkFig2TriangleConcrete|BenchmarkMapReduceEngine}"
+NOTE="${NOTE:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# No pipeline here: under plain POSIX sh a `go test | tee` would take tee's
+# exit status and mask benchmark failures from set -e.
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count 1 . > "$TMP"
+cat "$TMP"
+
+# Write to a temp file and move into place, so OUT may name the same file
+# as BASELINE (a shell redirection would truncate the baseline before
+# benchjson gets to read it).
+JSON_TMP="$(mktemp)"
+if [ -n "${BASELINE:-}" ]; then
+    go run ./cmd/benchjson -note "$NOTE" -baseline "$BASELINE" < "$TMP" > "$JSON_TMP"
+else
+    go run ./cmd/benchjson -note "$NOTE" < "$TMP" > "$JSON_TMP"
+fi
+mv "$JSON_TMP" "$OUT"
+echo "wrote $OUT"
