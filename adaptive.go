@@ -1,0 +1,315 @@
+package subgraphmr
+
+import (
+	"math"
+	"sort"
+
+	"subgraphmr/internal/core"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/shares"
+	"subgraphmr/internal/triangle"
+	"subgraphmr/internal/tworound"
+)
+
+// This file implements WithAdaptive's pre-run probing: before committing
+// to a strategy, the planner measures each viable candidate's actual
+// reducer loads with a map-only pass over the exact mapper (and seed) the
+// candidate would execute — bounded work: pairs are counted per key, never
+// grouped or reduced. The closed-form estimates price uniform graphs; the
+// probes see the hub that concentrates a power-law graph's edges on a few
+// reducers, and the re-ranking makes such candidates pay for it.
+
+// LoadProbe is one row of the adaptive planner's probe table: a candidate
+// configuration and its observed loads. Bucket-style candidates are probed
+// at raised bucket counts too ("split the hot reducers"), so a strategy can
+// appear several times at different b.
+type LoadProbe struct {
+	// Strategy is the probed candidate's strategy.
+	Strategy PlanStrategy
+	// Buckets is the probed bucket count (bucket-style strategies).
+	Buckets int `json:",omitempty"`
+	// Shares is the probed share vector (share-based strategies).
+	Shares []int `json:",omitempty"`
+	// Comm is the observed communication: the exact key-value pairs the
+	// configuration ships (for the cascade, the plan's exact 3m+W total).
+	Comm int64
+	// Keys is the number of reducers that would receive data (round 1
+	// only, for the cascade).
+	Keys int64
+	// MaxLoad is the largest single reducer input observed.
+	MaxLoad int64
+	// MeanLoad is Comm / Keys (round-1 pairs over round-1 keys for the
+	// cascade).
+	MeanLoad float64
+	// Skew is MaxLoad / MeanLoad.
+	Skew float64
+	// AdjustedCost is max(Comm, k × MaxLoad) — the skew-aware cost the
+	// adaptive planner ranks by.
+	AdjustedCost int64
+	// Applied reports that this row's configuration was folded into its
+	// candidate (for a bucket ladder, the winning rung).
+	Applied bool
+}
+
+// adjustedCost is the makespan-style cost of observed loads under k reducer
+// slots, in pair units: a balanced job costs its communication, a skewed
+// one costs k × its straggler (the "curse of the last reducer" made
+// explicit). Minimizing it trades total shipping against the hottest
+// reducer the way wall-clock does.
+func adjustedCost(comm, maxLoad, k int64) int64 {
+	if s := k * maxLoad; s > comm {
+		return s
+	}
+	return comm
+}
+
+// probeLadder returns the bucket counts to probe for a bucket-style
+// candidate: the planned b plus doublings (capped at the encoding limit),
+// stopping when the closed-form replication would exceed 16× the planned
+// configuration's — a raised b splits hot reducers but multiplies
+// communication, and rungs past that ratio cannot win the adjusted ranking
+// at the skews the probes are meant to catch.
+func probeLadder(b0 int, repl func(int) float64) []int {
+	ladder := []int{b0}
+	base := repl(b0)
+	for _, mult := range []int{2, 4} {
+		b := b0 * mult
+		if b > shares.MaxIntShare {
+			b = shares.MaxIntShare
+		}
+		if b <= ladder[len(ladder)-1] {
+			break
+		}
+		if base > 0 && repl(b) > 16*base {
+			break
+		}
+		ladder = append(ladder, b)
+	}
+	return ladder
+}
+
+// probeCandidates measures every viable candidate's reducer loads and
+// folds the observations back in: Observed*/AdjustedCost are set, and
+// bucket-style candidates may move to a raised b when the probes show a
+// raised configuration wins the adjusted ranking. Candidates are mutated
+// in place; the returned rows are the full probe table in planner order.
+func probeCandidates(g *Graph, s *Sample, qs []*CQ, cands []Candidate, o planOpts) []LoadProbe {
+	p := s.P()
+	k := int64(o.targetReducers)
+	cfg := o.engineConfig()
+	var probes []LoadProbe
+
+	row := func(st PlanStrategy, buckets int, sh []int, ls mapreduce.LoadStats) LoadProbe {
+		return LoadProbe{
+			Strategy:     st,
+			Buckets:      buckets,
+			Shares:       sh,
+			Comm:         ls.Pairs,
+			Keys:         ls.Keys,
+			MaxLoad:      ls.MaxLoad,
+			MeanLoad:     ls.MeanLoad(),
+			Skew:         ls.Skew(),
+			AdjustedCost: adjustedCost(ls.Pairs, ls.MaxLoad, k),
+		}
+	}
+	// observe folds an applied probe row into its candidate: the estimates
+	// become the observed values (EstComm is now exact) while CommPerEdge
+	// stays the closed form of the applied configuration, matching what the
+	// executed job will report as its prediction.
+	observe := func(c *Candidate, pr LoadProbe) {
+		c.ObservedComm = pr.Comm
+		c.ObservedMaxLoad = pr.MaxLoad
+		c.ObservedMeanLoad = pr.MeanLoad
+		c.ObservedSkew = pr.Skew
+		c.AdjustedCost = pr.AdjustedCost
+		c.Probed = true
+		c.EstComm = pr.Comm
+		c.EstShuffleBytes = pr.Comm * planPairOverhead
+	}
+
+	// The bucket-oriented and decomposed candidates ship edges through the
+	// identical mapper, so one ladder serves both; remember the result (by
+	// value — probes' backing array moves as rows are appended).
+	var bucketProbe LoadProbe
+	bucketIdx := -1
+
+	// With a forced strategy only that candidate's probe can change the
+	// plan, so the others' map passes would be pure waste — except the
+	// §2.3 candidate when the cascade is forced, whose probed b is the
+	// mid-query replan target.
+	shouldProbe := func(st PlanStrategy) bool {
+		if o.strategy == StrategyAuto || st == o.strategy {
+			return true
+		}
+		return o.strategy == StrategyTwoRound && st == StrategyTriangleBucketOrdered
+	}
+
+	// probeCoreBucketLadder probes a core bucket-style candidate along its
+	// b/2b/4b ladder (an explicit WithBuckets pins b) and folds the winning
+	// rung in — shared by bucket-oriented and, when it cannot inherit, the
+	// decomposed conversion.
+	probeCoreBucketLadder := func(c *Candidate) (LoadProbe, bool) {
+		ladder := []int{c.Buckets}
+		if o.buckets == 0 {
+			ladder = probeLadder(c.Buckets, func(b int) float64 { return shares.BucketEdgeReplication(b, p) })
+		}
+		best := -1
+		for _, b := range ladder {
+			ls, err := core.ProbeBucketLoads(g, p, b, o.seed, cfg)
+			if err != nil {
+				continue
+			}
+			pr := row(c.Strategy, b, uniformIntShares(p, b), ls)
+			probes = append(probes, pr)
+			if best < 0 || pr.AdjustedCost < probes[best].AdjustedCost {
+				best = len(probes) - 1
+			}
+		}
+		if best < 0 {
+			return LoadProbe{}, false
+		}
+		probes[best].Applied = true
+		pr := probes[best]
+		c.Buckets = pr.Buckets
+		c.Shares = uniformIntShares(p, pr.Buckets)
+		c.CommPerEdge = shares.BucketEdgeReplication(pr.Buckets, p)
+		c.Reducers = int64(shares.UsefulReducers(pr.Buckets, p))
+		observe(c, pr)
+		return pr, true
+	}
+
+	// Probe cheapest-first and prune candidates that cannot win: a probed
+	// candidate's adjusted cost never undercuts its shipped pairs, so once
+	// some candidate achieves bestAdjusted, any candidate whose static
+	// EstComm already exceeds it cannot beat it and its map passes would be
+	// pure waste — the probing stays on the top candidates. Forced
+	// strategies bypass the pruning (their probe is the plan).
+	order := make([]int, 0, len(cands))
+	for i := range cands {
+		if cands[i].Viable && shouldProbe(cands[i].Strategy) {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cands[order[a]].EstComm < cands[order[b]].EstComm })
+	var bestAdjusted int64 = math.MaxInt64
+
+	for _, i := range order {
+		c := &cands[i]
+		if o.strategy == StrategyAuto && c.EstComm > bestAdjusted {
+			continue
+		}
+		switch c.Strategy {
+		case StrategyBucketOriented:
+			if pr, ok := probeCoreBucketLadder(c); ok {
+				bucketProbe, bucketIdx = pr, i
+			}
+
+		case StrategyDecomposed:
+			if bucketIdx >= 0 {
+				// Same mapper, same loads: inherit the bucket ladder's
+				// winning configuration without another map pass.
+				bc := cands[bucketIdx]
+				c.Buckets, c.Shares = bc.Buckets, uniformIntShares(p, bc.Buckets)
+				c.CommPerEdge, c.Reducers = bc.CommPerEdge, bc.Reducers
+				observe(c, bucketProbe)
+			} else {
+				probeCoreBucketLadder(c)
+			}
+
+		case StrategyVariableOriented:
+			ls, err := core.ProbeVariableLoads(g, p, qs, c.Shares, o.seed, cfg)
+			if err != nil {
+				continue
+			}
+			pr := row(c.Strategy, 0, c.Shares, ls)
+			pr.Applied = true
+			probes = append(probes, pr)
+			observe(c, pr)
+
+		case StrategyCQOriented:
+			var merged mapreduce.LoadStats
+			probed := true
+			for j, q := range qs {
+				if j >= len(c.JobShares) {
+					break
+				}
+				ls, err := core.ProbeCQLoads(g, q, c.JobShares[j], o.seed, cfg)
+				if err != nil {
+					probed = false
+					break
+				}
+				merged = merged.Merge(ls)
+			}
+			if !probed {
+				continue
+			}
+			pr := row(c.Strategy, 0, nil, merged)
+			pr.Applied = true
+			probes = append(probes, pr)
+			observe(c, pr)
+
+		case StrategyTriangleBucketOrdered, StrategyTrianglePartition, StrategyTriangleMultiway:
+			algo, commFn, reducersFn := triangleForms(c.Strategy)
+			ladder := []int{c.Buckets}
+			if o.buckets == 0 && c.Strategy == StrategyTriangleBucketOrdered {
+				// Only the linear-communication Section 2.3 algorithm gets a
+				// ladder; raising b for Partition/Multiway grows shipping
+				// superlinearly for the same straggler relief.
+				ladder = probeLadder(c.Buckets, commFn)
+			}
+			best := -1
+			for _, b := range ladder {
+				ls, err := triangle.ProbeLoads(g, algo, b, o.seed, cfg)
+				if err != nil {
+					continue
+				}
+				pr := row(c.Strategy, b, uniformIntShares(3, b), ls)
+				probes = append(probes, pr)
+				if best < 0 || pr.AdjustedCost < probes[best].AdjustedCost {
+					best = len(probes) - 1
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			probes[best].Applied = true
+			pr := probes[best]
+			c.Buckets = pr.Buckets
+			c.Shares = uniformIntShares(3, pr.Buckets)
+			c.CommPerEdge = commFn(pr.Buckets)
+			c.Reducers = reducersFn(pr.Buckets)
+			observe(c, pr)
+
+		case StrategyTwoRound:
+			// Round 1's loads are the degree distribution — computed in
+			// O(n + m) without a map pass. Comm keeps the exact two-round
+			// total (3m + W); the straggler is round 1's hottest node (round
+			// 2's loads are unknowable before the wedges exist, which is
+			// what mid-query re-planning is for).
+			r1 := tworound.Round1LoadStats(g)
+			pr := row(c.Strategy, 0, nil, r1)
+			pr.Comm = c.EstComm // the exact 3m + W total, not just round 1's pairs
+			pr.AdjustedCost = adjustedCost(pr.Comm, r1.MaxLoad, k)
+			pr.Applied = true
+			probes = append(probes, pr)
+			observe(c, pr)
+		}
+		if c.Probed && c.AdjustedCost < bestAdjusted {
+			bestAdjusted = c.AdjustedCost
+		}
+	}
+	return probes
+}
+
+// triangleForms returns the probe name and closed forms of a Section 2
+// triangle strategy.
+func triangleForms(st PlanStrategy) (algo string, comm func(int) float64, reducers func(int) int64) {
+	switch st {
+	case StrategyTrianglePartition:
+		return "partition", triangle.PartitionCommPerEdge, triangle.PartitionReducers
+	case StrategyTriangleMultiway:
+		return "multiway", triangle.MultiwayCommPerEdge, triangle.MultiwayReducers
+	default:
+		return "bucket", triangle.BucketOrderedCommPerEdge, triangle.BucketOrderedReducers
+	}
+}

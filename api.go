@@ -80,7 +80,10 @@ type Option func(*planOpts)
 // the single replacement for the former core.Options / directed.Options /
 // TwoRoundTrianglesConfig / raw mapreduce.Config split.
 type planOpts struct {
-	strategy       PlanStrategy
+	strategy PlanStrategy
+	// targetReducers is the resolved reducer budget k: Plan normalizes any
+	// non-positive value to defaultTargetReducers once, up front, so every
+	// candidate (and the executed jobs) prices against the same k.
 	targetReducers int
 	buckets        int
 	cycleCQs       bool
@@ -90,10 +93,26 @@ type planOpts struct {
 	partitions     int
 	memoryBudget   int64
 	spillDir       string
+	adaptive       bool
+	skewThreshold  float64
 }
 
+// defaultTargetReducers is the reducer budget k used when none is given —
+// the single source of the default; candidates read the resolved
+// planOpts.targetReducers and never re-derive it.
+const defaultTargetReducers = 1024
+
 func defaultPlanOpts() planOpts {
-	return planOpts{strategy: StrategyAuto, targetReducers: 1024}
+	return planOpts{strategy: StrategyAuto, targetReducers: defaultTargetReducers}
+}
+
+// resolvedSkewThreshold is the observed max/mean load ratio above which the
+// adaptive machinery treats a configuration as skewed.
+func (o planOpts) resolvedSkewThreshold() float64 {
+	if o.skewThreshold > 0 {
+		return o.skewThreshold
+	}
+	return core.DefaultSkewThreshold
 }
 
 // WithStrategy forces a specific strategy instead of letting the planner
@@ -136,6 +155,28 @@ func WithMemoryBudget(bytes int64) Option { return func(o *planOpts) { o.memoryB
 // WithSpillDir sets the directory for spill run files ("" = system temp).
 func WithSpillDir(dir string) Option { return func(o *planOpts) { o.spillDir = dir } }
 
+// WithAdaptive enables skew-adaptive planning and execution. At plan time,
+// Plan probes each viable candidate's actual reducer loads with a map-only
+// pass (no reduce work) over the exact mapper the candidate would run,
+// replacing the uniform closed-form estimates with observed
+// MaxLoad/MeanLoad pairs, trying raised bucket counts for bucket-style
+// candidates, and re-ranking by the makespan-style adjusted cost
+// max(observed comm, k × observed max load) — so a strategy that
+// concentrates a hub's edges on a few reducers loses to one that spreads
+// them, even when its total communication is lower. At run time,
+// multi-job executions re-plan mid-query: a cq-oriented job sequence
+// raises its reducer budget for the remaining jobs after an observed-skew
+// breach, and the two-round cascade abandons round 2 for the one-round
+// bucket-ordered algorithm when round 1's loads prove skewed (the switch
+// is recorded in JobStats.Replanned/ObservedSkew). Results are
+// bit-identical to the static plan's — only the configuration changes.
+func WithAdaptive() Option { return func(o *planOpts) { o.adaptive = true } }
+
+// WithSkewThreshold sets the observed max/mean reducer-load ratio above
+// which adaptive execution re-plans (default 4). Only meaningful together
+// with WithAdaptive.
+func WithSkewThreshold(t float64) Option { return func(o *planOpts) { o.skewThreshold = t } }
+
 // engineConfig translates the unified options into an engine Config.
 func (o planOpts) engineConfig() mapreduce.Config {
 	return mapreduce.Config{
@@ -161,5 +202,7 @@ func (o planOpts) coreOptions(strategy core.Strategy, buckets int) core.Options 
 		Partitions:     o.partitions,
 		MemoryBudget:   o.memoryBudget,
 		SpillDir:       o.spillDir,
+		AdaptiveReplan: o.adaptive,
+		SkewThreshold:  o.skewThreshold,
 	}
 }

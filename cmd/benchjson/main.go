@@ -9,9 +9,11 @@
 //
 // Every benchmark line becomes one entry keyed by its name (the GOMAXPROCS
 // suffix is stripped so results compare across machines) with ns/op,
-// B/op, allocs/op and any custom metrics (comm/edge, pairs/op, …). With
-// -baseline, each entry also records the baseline's ns/op and allocs/op
-// and the resulting speedup factor.
+// B/op, allocs/op and any custom metrics (comm/edge, maxload, pairs/op,
+// …). With -baseline, each entry also records the baseline's ns/op,
+// allocs/op and custom metrics, plus the resulting ns speedup factor — so
+// a custom metric like the adaptive benchmark's maxload can be diffed
+// across PRs the same way ns/op is.
 package main
 
 import (
@@ -33,9 +35,10 @@ type Result struct {
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 
-	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
-	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
-	SpeedupNs           float64 `json:"speedup_ns,omitempty"`
+	BaselineNsPerOp     float64            `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64            `json:"baseline_allocs_per_op,omitempty"`
+	BaselineMetrics     map[string]float64 `json:"baseline_metrics,omitempty"`
+	SpeedupNs           float64            `json:"speedup_ns,omitempty"`
 }
 
 // Document is the emitted JSON shape.
@@ -139,6 +142,9 @@ func embedBaseline(doc *Document, path string) error {
 		}
 		res.BaselineNsPerOp = b.NsPerOp
 		res.BaselineAllocsPerOp = b.AllocsPerOp
+		if len(b.Metrics) > 0 {
+			res.BaselineMetrics = b.Metrics
+		}
 		res.SpeedupNs = b.NsPerOp / res.NsPerOp
 		doc.Benchmarks[name] = res
 	}

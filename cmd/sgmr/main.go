@@ -8,13 +8,19 @@
 //	sgmr -sample square -gen powerlaw -n 100000 -mem-budget 268435456
 //	sgmr -sample c5 -explain            # print the plan without running it
 //	sgmr -sample triangle -json         # machine-readable plan + result
+//	sgmr -gen ba -strategy auto -adaptive -explain
+//	                                    # probe reducer loads, show the table
 //
 // The data graph comes from -data (edge-list file; "-" for stdin) or from
 // a generator (-gen gnm|gnp|powerlaw|cycle|complete|grid|tree with -n, -m,
 // -p, -delta, -depth, -seed). Map-reduce strategies run through the
 // cost-based planner (-strategy auto picks the cheapest); -explain prints
 // the chosen plan and the full candidate cost table without running it,
-// and -json emits the plan and result as JSON. Statistics (communication
+// and -json emits the plan and result as JSON. -adaptive makes the planner
+// probe each candidate's actual reducer loads with map-only passes and
+// rank by the skew-adjusted cost (with -explain, the probe table is
+// printed); at run time it also re-plans multi-job executions mid-query
+// when observed skew exceeds -skew-threshold. Statistics (communication
 // cost, reducers, skew, reducer work) are always printed; -print also
 // lists instances. -mem-budget bounds the reduce workers' memory: above it
 // the engine spills sorted runs to disk and merge-streams them into the
@@ -99,6 +105,8 @@ func run(args []string, out io.Writer) error {
 		partitions = fs.Int("partitions", 0, "shuffle partitions / reduce workers (0 = workers)")
 		memBudget  = fs.Int64("mem-budget", 0, "reduce-memory budget in bytes; exceeding it spills sorted runs to disk (0 = unlimited)")
 		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
+		adaptive   = fs.Bool("adaptive", false, "probe reducer loads before planning and re-plan mid-query on observed skew")
+		skewThresh = fs.Float64("skew-threshold", 0, "observed max/mean load ratio that triggers mid-query re-planning (0 = default 4)")
 		explain    = fs.Bool("explain", false, "print the chosen plan and candidate costs without running")
 		jsonOut    = fs.Bool("json", false, "emit the plan and result as JSON")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -135,6 +143,7 @@ func run(args []string, out io.Writer) error {
 			k: *k, buckets: *buckets, cycleCQs: *cyclesCQ, countOnly: *countOnly,
 			seed: *hashSeed, workers: *workers, partitions: *partitions,
 			memBudget: *memBudget, spillDir: *spillDir,
+			adaptive: *adaptive, skewThreshold: *skewThresh,
 			explain: *explain, jsonOut: *jsonOut, printAll: *printAll,
 		})
 	}
@@ -231,6 +240,8 @@ type plannedOptions struct {
 	workers, partitions int
 	memBudget           int64
 	spillDir            string
+	adaptive            bool
+	skewThreshold       float64
 	explain, jsonOut    bool
 	printAll            bool
 }
@@ -276,6 +287,12 @@ func runPlanned(out io.Writer, g *subgraphmr.Graph, s *subgraphmr.Sample, st sub
 	if o.countOnly {
 		opts = append(opts, subgraphmr.WithCountOnly())
 	}
+	if o.adaptive {
+		opts = append(opts, subgraphmr.WithAdaptive())
+	}
+	if o.skewThreshold > 0 {
+		opts = append(opts, subgraphmr.WithSkewThreshold(o.skewThreshold))
+	}
 	plan, err := subgraphmr.Plan(g, s, opts...)
 	if err != nil {
 		return err
@@ -313,13 +330,17 @@ func runPlanned(out io.Writer, g *subgraphmr.Graph, s *subgraphmr.Sample, st sub
 	fmt.Fprintf(out, "strategy: %v, %d CQ(s), %d job(s)\n", plan.Strategy, plan.NumCQs, len(res.Jobs))
 	var total subgraphmr.Metrics
 	for _, job := range res.Jobs {
-		fmt.Fprintf(out, "  job %q shares=%v\n", job.Label, job.Shares)
+		replanMark := ""
+		if job.Replanned {
+			replanMark = " [replanned]"
+		}
+		fmt.Fprintf(out, "  job %q shares=%v%s\n", job.Label, job.Shares, replanMark)
 		fmt.Fprintf(out, "    predicted comm/edge=%.2f (fractional optimum %.2f)\n",
 			job.PredictedCommPerEdge, job.OptimalCommPerEdge)
 		mt := job.Metrics
-		fmt.Fprintf(out, "    measured: comm=%d (%.2f/edge) reducers=%d maxload=%d work=%d\n",
+		fmt.Fprintf(out, "    measured: comm=%d (%.2f/edge) reducers=%d maxload=%d skew=%.2f work=%d\n",
 			mt.KeyValuePairs, float64(mt.KeyValuePairs)/float64(g.NumEdges()),
-			mt.DistinctKeys, mt.MaxReducerInput, mt.ReducerWork)
+			mt.DistinctKeys, mt.MaxReducerInput, job.ObservedSkew, mt.ReducerWork)
 		total.Add(mt)
 	}
 	fmt.Fprintf(out, "total communication: %d key-value pairs\n", res.TotalComm())

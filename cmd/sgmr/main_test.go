@@ -233,6 +233,34 @@ func TestJSONFlag(t *testing.T) {
 	}
 }
 
+// TestAdaptiveFlag drives -adaptive end to end: the count still matches
+// the oracle across strategies (including the mid-query re-planning paths),
+// and -adaptive -explain prints the probe table.
+func TestAdaptiveFlag(t *testing.T) {
+	want := foundCount(t, runSGMR(t, append([]string{"-strategy", "serial"}, graphArgs...)...))
+	for _, strategy := range []string{"auto", "bucket", "variable", "cq", "cascade"} {
+		out := runSGMR(t, append([]string{"-strategy", strategy, "-k", "64", "-adaptive"}, graphArgs...)...)
+		if got := foundCount(t, out); got != want {
+			t.Errorf("%s -adaptive: %d instances, serial found %d\n%s", strategy, got, want, out)
+		}
+	}
+	// A breach-everything threshold must still agree (forces the replans).
+	out := runSGMR(t, append([]string{"-strategy", "cq", "-k", "64", "-adaptive", "-skew-threshold", "1.01"}, graphArgs...)...)
+	if got := foundCount(t, out); got != want {
+		t.Errorf("cq -adaptive -skew-threshold 1.01: %d instances, want %d\n%s", got, want, out)
+	}
+
+	out = runSGMR(t, append([]string{"-strategy", "auto", "-adaptive", "-explain"}, graphArgs...)...)
+	for _, wantStr := range []string{"probes (adaptive", "maxload=", "skew=", "adjusted="} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("-adaptive -explain output missing %q:\n%s", wantStr, out)
+		}
+	}
+	if strings.Contains(out, "instances found") {
+		t.Errorf("-adaptive -explain executed the job:\n%s", out)
+	}
+}
+
 // TestBadFlags checks error paths exit through run's error return.
 func TestBadFlags(t *testing.T) {
 	var out strings.Builder

@@ -90,6 +90,18 @@ type Options struct {
 	MemoryBudget int64
 	// SpillDir is the directory for spill run files ("" = system temp).
 	SpillDir string
+	// AdaptiveReplan enables mid-query re-planning for multi-job
+	// strategies: after each CQOriented job, the observed reducer skew
+	// (MaxReducerInput vs the mean) is compared against SkewThreshold, and
+	// when it is exceeded the remaining jobs re-optimize their shares at a
+	// proportionally raised reducer budget so hot reducers split. Jobs that
+	// ran at a revised configuration are marked JobStats.Replanned. The
+	// instance set is unchanged — every job still emits each of its
+	// instances exactly once, at whatever share configuration it runs.
+	AdaptiveReplan bool
+	// SkewThreshold is the observed max/mean load ratio above which
+	// AdaptiveReplan revises the remaining jobs (0 = the default, 4).
+	SkewThreshold float64
 }
 
 func (o Options) reducers() int {
@@ -97,6 +109,18 @@ func (o Options) reducers() int {
 		return o.TargetReducers
 	}
 	return 1024
+}
+
+// DefaultSkewThreshold is the observed max/mean reducer-load ratio above
+// which adaptive execution considers a job skewed (see Options.SkewThreshold
+// and the planner's WithAdaptive).
+const DefaultSkewThreshold = 4.0
+
+func (o Options) skewThreshold() float64 {
+	if o.SkewThreshold > 0 {
+		return o.SkewThreshold
+	}
+	return DefaultSkewThreshold
 }
 
 // engineConfig translates the enumeration options into an engine Config.
@@ -126,6 +150,18 @@ type JobStats struct {
 	OptimalCommPerEdge float64
 	// Metrics is the engine-measured cost of the job.
 	Metrics mapreduce.Metrics
+	// ObservedSkew is the job's measured load imbalance: MaxReducerInput
+	// divided by the mean reducer input (0 when nothing was shipped).
+	ObservedSkew float64
+	// Replanned marks a job that ran at a configuration revised mid-query
+	// by adaptive re-planning (observed skew on an earlier job exceeded the
+	// threshold, so this job's reducer budget was raised — or, for the
+	// cascade, the remaining rounds were replaced by a one-round algorithm).
+	Replanned bool
+	// TargetReducers is the reducer budget the job's shares were optimized
+	// for (0 for bucket-style jobs, which derive b instead); replanned jobs
+	// show the revised budget.
+	TargetReducers int `json:",omitempty"`
 }
 
 // Result is the outcome of Enumerate.
@@ -255,10 +291,10 @@ func bucketOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []
 	if b <= 0 {
 		b = bucketsForReducers(opt.reducers(), p)
 	}
-	if b > 255 {
-		return nil, fmt.Errorf("core: bucket count %d exceeds 255", b)
+	if b > shares.MaxIntShare {
+		return nil, fmt.Errorf("core: bucket count %d exceeds %d", b, shares.MaxIntShare)
 	}
-	h := graph.NodeHash{Seed: opt.Seed + 0x9e3779b97f4a7c15, B: b}
+	h := bucketHash(opt.Seed, b)
 	less := graph.HashLess(h)
 
 	mapper := bucketEdgeMapper(h, p, b)
@@ -300,6 +336,7 @@ func bucketOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []
 		PredictedCommPerEdge: shares.BucketEdgeReplication(b, p),
 		OptimalCommPerEdge:   shares.BucketEdgeReplication(b, p),
 		Metrics:              metrics,
+		ObservedSkew:         metrics.Skew(),
 	}
 	count := resultCount(opt, sink, counted.Load(), instances, metrics)
 	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}, NumCQs: len(qs)}, nil
@@ -317,6 +354,13 @@ func resultCount(opt Options, sink func([]graph.Node) bool, counted int64, insta
 	default:
 		return int64(len(instances))
 	}
+}
+
+// bucketHash is the node hash every bucket-style job derives from the job
+// seed — shared by execution and the planner's load probes, so the probed
+// loads are exactly what the job will ship.
+func bucketHash(seed uint64, b int) graph.NodeHash {
+	return graph.NodeHash{Seed: seed + 0x9e3779b97f4a7c15, B: b}
 }
 
 // bucketEdgeMapper returns the Section 4.5 mapper: each edge is shipped to
@@ -423,7 +467,12 @@ func variableOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs 
 
 // cqOriented implements the Section 4.1 strategy: one job per CQ. In
 // streaming mode an early stop (yield returning false) skips the remaining
-// jobs.
+// jobs. Under Options.AdaptiveReplan, the sequence is resumable at a new
+// configuration: a job whose observed skew exceeds the threshold raises the
+// reducer budget for the remaining jobs (hot reducers split into more,
+// smaller groups), which is sound because each job owns its CQ's instances
+// outright — the share configuration decides where an instance is emitted,
+// never whether.
 func cqOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []*cq.CQ, opt Options, cfg mapreduce.Config, sink func([]graph.Node) bool) (*Result, error) {
 	p := s.P()
 	out := &Result{NumCQs: len(qs)}
@@ -438,6 +487,8 @@ func cqOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []*cq.
 			return true
 		}
 	}
+	k := opt.reducers()
+	replanned := false
 	for i, q := range qs {
 		if stopped || ctx.Err() != nil {
 			break
@@ -447,19 +498,63 @@ func cqOriented(ctx context.Context, g *graph.Graph, s *sample.Sample, qs []*cq.
 		for _, sg := range q.Subgoals {
 			binds = append(binds, edgeBinding{lo: sg.Lo, hi: sg.Hi})
 		}
-		res, err := runShareJob(ctx, g, p, []*cq.CQ{q}, model, binds, opt, cfg,
-			fmt.Sprintf("cq-oriented job %d/%d", i+1, len(qs)), wrapped)
+		jobOpt := opt
+		jobOpt.TargetReducers = k
+		label := fmt.Sprintf("cq-oriented job %d/%d", i+1, len(qs))
+		if replanned {
+			label += fmt.Sprintf(" (replanned k=%d)", k)
+		}
+		res, err := runShareJob(ctx, g, p, []*cq.CQ{q}, model, binds, jobOpt, cfg, label, wrapped)
 		if err != nil {
 			return nil, err
+		}
+		for j := range res.Jobs {
+			res.Jobs[j].Replanned = replanned
 		}
 		out.Instances = append(out.Instances, res.Instances...)
 		out.Count += res.Count
 		out.Jobs = append(out.Jobs, res.Jobs...)
+
+		if opt.AdaptiveReplan && i+1 < len(qs) {
+			if k2 := replanReducers(k, res.Jobs, qs[i+1:], opt.skewThreshold()); k2 > k {
+				k = k2
+				replanned = true
+			}
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// replanReducers decides the revised reducer budget after an observed-skew
+// breach: the budget is raised proportionally to the breach
+// (shares.SkewAdjustedReducers), but only if every remaining CQ's shares
+// still solve and round within the engine's per-variable limit at the new
+// budget — otherwise the current budget is kept.
+func replanReducers(k int, done []JobStats, remaining []*cq.CQ, threshold float64) int {
+	skew := 0.0
+	for _, j := range done {
+		if j.ObservedSkew > skew {
+			skew = j.ObservedSkew
+		}
+	}
+	k2 := shares.SkewAdjustedReducers(k, skew, threshold, 0)
+	if k2 <= k {
+		return k
+	}
+	for _, q := range remaining {
+		model := shares.ModelFromCQ(q)
+		sol, err := model.Solve(float64(k2))
+		if err != nil {
+			return k
+		}
+		if shares.MaxShare(model.RoundShares(sol.Shares, float64(k2))) > shares.MaxIntShare {
+			return k
+		}
+	}
+	return k2
 }
 
 // edgeBinding says: ship the data edge (U < V) binding variable lo to U and
@@ -479,26 +574,21 @@ func bindingsFromUses(uses []cq.EdgeUse) []edgeBinding {
 	return binds
 }
 
-// runShareJob executes one share-based job: optimize shares for the model,
-// round to integer bucket counts, ship each edge per binding to the
-// reducers of every bucket tuple extending the bound pair, and evaluate the
-// CQs at each reducer with the natural node order. An instance is emitted
-// only at the reducer matching the hashes of all its nodes.
-func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds []edgeBinding, opt Options, cfg mapreduce.Config, label string, sink func([]graph.Node) bool) (*Result, error) {
-	sol, err := model.Solve(float64(opt.reducers()))
-	if err != nil {
-		return nil, err
+// shareHashes builds the per-variable node hashes of a share-based job —
+// shared by execution and the planner's load probes, so the probed loads
+// are exactly what the job will ship.
+func shareHashes(seed uint64, intShares []int) []graph.NodeHash {
+	hashes := make([]graph.NodeHash, len(intShares))
+	for v := range intShares {
+		hashes[v] = graph.NodeHash{Seed: seed + uint64(v)*0x9e3779b97f4a7c15 + 1, B: intShares[v]}
 	}
-	intShares := model.RoundShares(sol.Shares, float64(opt.reducers()))
-	hashes := make([]graph.NodeHash, p)
-	for v := 0; v < p; v++ {
-		if intShares[v] > 255 {
-			return nil, fmt.Errorf("core: share %d exceeds 255", intShares[v])
-		}
-		hashes[v] = graph.NodeHash{Seed: opt.Seed + uint64(v)*0x9e3779b97f4a7c15 + 1, B: intShares[v]}
-	}
+	return hashes
+}
 
-	mapper := func(e graph.Edge, emit func(string, graph.Edge)) {
+// shareEdgeMapper returns the share-based mapper: per binding, the edge is
+// shipped to the reducers of every bucket tuple extending the bound pair.
+func shareEdgeMapper(p int, binds []edgeBinding, hashes []graph.NodeHash, intShares []int) mapreduce.Mapper[graph.Edge, string, graph.Edge] {
+	return func(e graph.Edge, emit func(string, graph.Edge)) {
 		scratch := make([]byte, p)
 		for _, bind := range binds {
 			scratch[bind.lo] = byte(hashes[bind.lo].Bucket(e.U))
@@ -521,6 +611,24 @@ func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model 
 			fill(0)
 		}
 	}
+}
+
+// runShareJob executes one share-based job: optimize shares for the model,
+// round to integer bucket counts, ship each edge per binding to the
+// reducers of every bucket tuple extending the bound pair, and evaluate the
+// CQs at each reducer with the natural node order. An instance is emitted
+// only at the reducer matching the hashes of all its nodes.
+func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model shares.Model, binds []edgeBinding, opt Options, cfg mapreduce.Config, label string, sink func([]graph.Node) bool) (*Result, error) {
+	sol, err := model.Solve(float64(opt.reducers()))
+	if err != nil {
+		return nil, err
+	}
+	intShares := model.RoundShares(sol.Shares, float64(opt.reducers()))
+	if mx := shares.MaxShare(intShares); mx > shares.MaxIntShare {
+		return nil, fmt.Errorf("core: share %d exceeds %d", mx, shares.MaxIntShare)
+	}
+	hashes := shareHashes(opt.Seed, intShares)
+	mapper := shareEdgeMapper(p, binds, hashes, intShares)
 	evals := cq.NewEvaluatorSet(qs) // compiled once per job, shared by all reducers
 	var counted atomic.Int64
 	reducer := func(ctx *mapreduce.Context, key string, edges []graph.Edge, emit func([]graph.Node)) {
@@ -560,6 +668,8 @@ func runShareJob(ctx context.Context, g *graph.Graph, p int, qs []*cq.CQ, model 
 		PredictedCommPerEdge: model.CostPerEdge(fs),
 		OptimalCommPerEdge:   sol.CostPerEdge,
 		Metrics:              metrics,
+		ObservedSkew:         metrics.Skew(),
+		TargetReducers:       opt.reducers(),
 	}
 	count := resultCount(opt, sink, counted.Load(), instances, metrics)
 	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}}, nil

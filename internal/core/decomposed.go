@@ -57,10 +57,10 @@ func enumerateDecomposed(ctx context.Context, g *graph.Graph, s *sample.Sample, 
 	if b <= 0 {
 		b = bucketsForReducers(opt.reducers(), p)
 	}
-	if b > 255 {
-		return nil, fmt.Errorf("core: bucket count %d exceeds 255", b)
+	if b > shares.MaxIntShare {
+		return nil, fmt.Errorf("core: bucket count %d exceeds %d", b, shares.MaxIntShare)
 	}
-	h := graph.NodeHash{Seed: opt.Seed + 0x9e3779b97f4a7c15, B: b}
+	h := bucketHash(opt.Seed, b)
 	cfg := opt.engineConfig()
 
 	var counted atomic.Int64
@@ -114,6 +114,7 @@ func enumerateDecomposed(ctx context.Context, g *graph.Graph, s *sample.Sample, 
 		PredictedCommPerEdge: shares.BucketEdgeReplication(b, p),
 		OptimalCommPerEdge:   shares.BucketEdgeReplication(b, p),
 		Metrics:              metrics,
+		ObservedSkew:         metrics.Skew(),
 	}
 	count := resultCount(opt, sink, counted.Load(), instances, metrics)
 	return &Result{Instances: instances, Count: count, Jobs: []JobStats{job}}, nil

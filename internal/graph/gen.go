@@ -103,6 +103,28 @@ func PathGraph(n int) *Graph {
 	return b.Graph()
 }
 
+// PlantedHub returns the deterministic skew fixture behind the adaptive
+// planner's tests and benchmarks: a mid-id hub adjacent to every other
+// node (so it is both a wedge middle and a shuffle hot spot) over a sparse
+// ring across the first ringNodes nodes. The degree distribution is
+// extreme by construction — the worst case for the uniform-degree share
+// models the static planner prices with.
+func PlantedHub(n, ringNodes int) *Graph {
+	b := NewBuilder(n)
+	hub := Node(n / 2)
+	for u := 0; u < n; u++ {
+		if Node(u) != hub {
+			b.AddEdge(hub, Node(u))
+		}
+	}
+	for u := 0; u+1 < ringNodes; u++ {
+		if Node(u) != hub && Node(u+1) != hub {
+			b.AddEdge(Node(u), Node(u+1))
+		}
+	}
+	return b.Graph()
+}
+
 // StarGraph returns a star with one hub (node 0) and n-1 leaves.
 func StarGraph(n int) *Graph {
 	b := NewBuilder(n)

@@ -66,6 +66,18 @@ type Metrics struct {
 	SpillFiles int64
 }
 
+// Skew is the observed load imbalance of the job: MaxReducerInput divided
+// by the mean reducer input (KeyValuePairs / DistinctKeys). A perfectly
+// balanced shuffle has skew 1; the "curse of the last reducer" shows up as
+// skew ≫ 1. Zero when the job shipped nothing.
+func (m Metrics) Skew() float64 {
+	if m.DistinctKeys == 0 || m.KeyValuePairs == 0 {
+		return 0
+	}
+	mean := float64(m.KeyValuePairs) / float64(m.DistinctKeys)
+	return float64(m.MaxReducerInput) / mean
+}
+
 // Add accumulates other into m (for summing metrics across jobs).
 func (m *Metrics) Add(other Metrics) {
 	m.KeyValuePairs += other.KeyValuePairs
@@ -615,6 +627,25 @@ func ReducerLoads[I any, K comparable, V any](
 	inputs []I,
 	mapFn Mapper[I, K, V],
 ) []int {
+	merged := ReducerLoadsByKey(cfg, inputs, mapFn)
+	loads := make([]int, 0, len(merged))
+	for _, c := range merged {
+		loads = append(loads, c)
+	}
+	sort.Ints(loads)
+	return loads
+}
+
+// ReducerLoadsByKey is the keyed form of ReducerLoads: it runs only the map
+// phase and returns the full load histogram — for each reducer key, the
+// number of values it would receive. The result is deterministic regardless
+// of parallelism. This is the primitive behind the planner's adaptive skew
+// probes: a probe costs one sharded map pass and no reduce computation.
+func ReducerLoadsByKey[I any, K comparable, V any](
+	cfg Config,
+	inputs []I,
+	mapFn Mapper[I, K, V],
+) map[K]int {
 	nm := cfg.workers()
 	if nm > len(inputs) {
 		nm = len(inputs)
@@ -654,10 +685,63 @@ func ReducerLoads[I any, K comparable, V any](
 			merged[k] += c
 		}
 	}
-	loads := make([]int, 0, len(merged))
-	for _, c := range merged {
-		loads = append(loads, c)
+	return merged
+}
+
+// LoadStats summarizes a map-only load probe: the communication cost the
+// job would pay (Pairs), how many reducers would receive data (Keys), and
+// the largest single reducer input (MaxLoad) — the observed counterpart of
+// Metrics.{KeyValuePairs, DistinctKeys, MaxReducerInput}, available before
+// committing to the reduce phase.
+type LoadStats struct {
+	Pairs   int64
+	Keys    int64
+	MaxLoad int64
+}
+
+// MeanLoad is Pairs / Keys (0 when no key would receive data).
+func (ls LoadStats) MeanLoad() float64 {
+	if ls.Keys == 0 {
+		return 0
 	}
-	sort.Ints(loads)
-	return loads
+	return float64(ls.Pairs) / float64(ls.Keys)
+}
+
+// Skew is MaxLoad divided by MeanLoad (0 when no key would receive data).
+func (ls LoadStats) Skew() float64 {
+	mean := ls.MeanLoad()
+	if mean == 0 {
+		return 0
+	}
+	return float64(ls.MaxLoad) / mean
+}
+
+// Merge folds another probe into ls as if the two jobs ran side by side
+// (loads sum, the max is taken across jobs) — used to aggregate the per-job
+// probes of a multi-job strategy.
+func (ls LoadStats) Merge(other LoadStats) LoadStats {
+	ls.Pairs += other.Pairs
+	ls.Keys += other.Keys
+	if other.MaxLoad > ls.MaxLoad {
+		ls.MaxLoad = other.MaxLoad
+	}
+	return ls
+}
+
+// ReducerLoadStats runs only the map phase and summarizes the per-reducer
+// load histogram; see ReducerLoadsByKey.
+func ReducerLoadStats[I any, K comparable, V any](
+	cfg Config,
+	inputs []I,
+	mapFn Mapper[I, K, V],
+) LoadStats {
+	var ls LoadStats
+	for _, c := range ReducerLoadsByKey(cfg, inputs, mapFn) {
+		ls.Pairs += int64(c)
+		ls.Keys++
+		if int64(c) > ls.MaxLoad {
+			ls.MaxLoad = int64(c)
+		}
+	}
+	return ls
 }

@@ -70,7 +70,27 @@ func PartitionContext(ctx context.Context, g *graph.Graph, b int, seed uint64, c
 		return Result{}, fmt.Errorf("triangle: Partition needs b >= 3, got %d", b)
 	}
 	h := graph.NodeHash{Seed: seed, B: b}
-	mapper := func(e graph.Edge, emit func(triple, graph.Edge)) {
+	mapper := partitionMapper(h, b)
+	reducer := func(ctx *mapreduce.Context, key triple, edges []graph.Edge, emit func([3]graph.Node)) {
+		local := graph.SparseFromEdges(edges)
+		ctx.AddWork(trianglesInSparse(local, func(a, bb, c graph.Node) {
+			if canonicalGroupTriple(h, b, a, bb, c) == key {
+				emit([3]graph.Node{a, bb, c})
+			}
+		}))
+	}
+	return runTriangleJob(ctx, mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
+		Name:   fmt.Sprintf("partition b=%d", b),
+		Map:    mapper,
+		Reduce: reducer,
+	}, cfg, g.Edges(), b, sink)
+}
+
+// partitionMapper returns the Partition edge mapper: an edge whose
+// endpoints fall in groups gu, gv reaches every 3-subset of groups
+// containing both (C(b-1,2) subsets when gu = gv, b-2 otherwise).
+func partitionMapper(h graph.NodeHash, b int) mapreduce.Mapper[graph.Edge, triple, graph.Edge] {
+	return func(e graph.Edge, emit func(triple, graph.Edge)) {
 		gu, gv := h.Bucket(e.U), h.Bucket(e.V)
 		if gu == gv {
 			// C(b-1, 2) reducers: every triple containing gu.
@@ -95,19 +115,6 @@ func PartitionContext(ctx context.Context, g *graph.Graph, b int, seed uint64, c
 			emit(sortedTriple(gu, gv, x), e)
 		}
 	}
-	reducer := func(ctx *mapreduce.Context, key triple, edges []graph.Edge, emit func([3]graph.Node)) {
-		local := graph.SparseFromEdges(edges)
-		ctx.AddWork(trianglesInSparse(local, func(a, bb, c graph.Node) {
-			if canonicalGroupTriple(h, b, a, bb, c) == key {
-				emit([3]graph.Node{a, bb, c})
-			}
-		}))
-	}
-	return runTriangleJob(ctx, mapreduce.Job[graph.Edge, triple, graph.Edge, [3]graph.Node]{
-		Name:   fmt.Sprintf("partition b=%d", b),
-		Map:    mapper,
-		Reduce: reducer,
-	}, cfg, g.Edges(), b, sink)
 }
 
 // canonicalGroupTriple maps a triangle to the unique reducer that owns it:
@@ -178,39 +185,7 @@ func MultiwayContext(ctx context.Context, g *graph.Graph, b int, seed uint64, cf
 		return Result{}, fmt.Errorf("triangle: Multiway needs b >= 1, got %d", b)
 	}
 	h := graph.NodeHash{Seed: seed, B: b}
-	mapper := func(e graph.Edge, emit func(triple, taggedEdge)) {
-		u, v := e.U, e.V // u < v by canonical orientation
-		hu, hv := h.Bucket(u), h.Bucket(v)
-		// Collect the ≤3b (key, role) pairs in a small scratch slice,
-		// merging the coinciding role copies by linear scan (footnote 1's
-		// dedup) — the previous map allocated per edge on the hot path.
-		type keyed struct {
-			k     triple
-			roles roleMask
-		}
-		keys := make([]keyed, 0, 3*b)
-		add := func(k triple, r roleMask) {
-			for i := range keys {
-				if keys[i].k == k {
-					keys[i].roles |= r
-					return
-				}
-			}
-			keys = append(keys, keyed{k, r})
-		}
-		for z := 0; z < b; z++ {
-			add(triple{hu, hv, z}, roleXY)
-		}
-		for x := 0; x < b; x++ {
-			add(triple{x, hu, hv}, roleYZ)
-		}
-		for y := 0; y < b; y++ {
-			add(triple{hu, y, hv}, roleXZ)
-		}
-		for _, kr := range keys {
-			emit(kr.k, taggedEdge{e, kr.roles})
-		}
-	}
+	mapper := multiwayMapper(h, b)
 	reducer := func(ctx *mapreduce.Context, key triple, edges []taggedEdge, emit func([3]graph.Node)) {
 		// Role-structured join: X=u, Y=v, Z=w with E(u,v) as XY, E(v,w) as
 		// YZ, E(u,w) as XZ (each pair id-ordered).
@@ -244,6 +219,45 @@ func MultiwayContext(ctx context.Context, g *graph.Graph, b int, seed uint64, cf
 	}, cfg, g.Edges(), b, sink)
 }
 
+// multiwayMapper returns the Section 2.2 mapper: the edge plays each of its
+// three join roles across b shares, the coinciding role copies merged
+// (footnote 1's dedup) so it reaches exactly 3b−2 distinct reducers.
+func multiwayMapper(h graph.NodeHash, b int) mapreduce.Mapper[graph.Edge, triple, taggedEdge] {
+	return func(e graph.Edge, emit func(triple, taggedEdge)) {
+		u, v := e.U, e.V // u < v by canonical orientation
+		hu, hv := h.Bucket(u), h.Bucket(v)
+		// Collect the ≤3b (key, role) pairs in a small scratch slice,
+		// merging the coinciding role copies by linear scan (footnote 1's
+		// dedup) — the previous map allocated per edge on the hot path.
+		type keyed struct {
+			k     triple
+			roles roleMask
+		}
+		keys := make([]keyed, 0, 3*b)
+		add := func(k triple, r roleMask) {
+			for i := range keys {
+				if keys[i].k == k {
+					keys[i].roles |= r
+					return
+				}
+			}
+			keys = append(keys, keyed{k, r})
+		}
+		for z := 0; z < b; z++ {
+			add(triple{hu, hv, z}, roleXY)
+		}
+		for x := 0; x < b; x++ {
+			add(triple{x, hu, hv}, roleYZ)
+		}
+		for y := 0; y < b; y++ {
+			add(triple{hu, y, hv}, roleXZ)
+		}
+		for _, kr := range keys {
+			emit(kr.k, taggedEdge{e, kr.roles})
+		}
+	}
+}
+
 // BucketOrdered runs the Section 2.3 algorithm: nodes are ordered by
 // (bucket, id); reducers are the nondecreasing bucket triples; each edge is
 // shipped to exactly b reducers; the triangle (u ≺ v ≺ w) is owned by the
@@ -259,14 +273,7 @@ func BucketOrderedContext(ctx context.Context, g *graph.Graph, b int, seed uint6
 		return Result{}, fmt.Errorf("triangle: BucketOrdered needs b >= 1, got %d", b)
 	}
 	h := graph.NodeHash{Seed: seed, B: b}
-	mapper := func(e graph.Edge, emit func(triple, graph.Edge)) {
-		i, j := h.Bucket(e.U), h.Bucket(e.V)
-		// The b keys {i,j,w} for w = 0..b-1 are distinct multisets, so no
-		// dedup structure is needed on this per-edge hot path.
-		for w := 0; w < b; w++ {
-			emit(sortedTriple(i, j, w), e)
-		}
-	}
+	mapper := bucketOrderedMapper(h, b)
 	reducer := func(ctx *mapreduce.Context, key triple, edges []graph.Edge, emit func([3]graph.Node)) {
 		local := graph.SparseFromEdges(edges)
 		ctx.AddWork(trianglesInSparse(local, func(a, bb, c graph.Node) {
@@ -280,6 +287,39 @@ func BucketOrderedContext(ctx context.Context, g *graph.Graph, b int, seed uint6
 		Map:    mapper,
 		Reduce: reducer,
 	}, cfg, g.Edges(), b, sink)
+}
+
+// bucketOrderedMapper returns the Section 2.3 mapper: each edge reaches the
+// b nondecreasing bucket triples containing both endpoint buckets.
+func bucketOrderedMapper(h graph.NodeHash, b int) mapreduce.Mapper[graph.Edge, triple, graph.Edge] {
+	return func(e graph.Edge, emit func(triple, graph.Edge)) {
+		i, j := h.Bucket(e.U), h.Bucket(e.V)
+		// The b keys {i,j,w} for w = 0..b-1 are distinct multisets, so no
+		// dedup structure is needed on this per-edge hot path.
+		for w := 0; w < b; w++ {
+			emit(sortedTriple(i, j, w), e)
+		}
+	}
+}
+
+// ProbeLoads measures, map-only, the reducer loads one of the Section 2
+// algorithms ("partition", "multiway" or "bucket") would ship at bucket
+// count b — the exact mapper the job executes, so the planner's adaptive
+// probes observe precisely the loads a run would produce.
+func ProbeLoads(g *graph.Graph, algo string, b int, seed uint64, cfg mapreduce.Config) (mapreduce.LoadStats, error) {
+	h := graph.NodeHash{Seed: seed, B: b}
+	switch algo {
+	case "partition":
+		if b < 3 {
+			return mapreduce.LoadStats{}, fmt.Errorf("triangle: Partition needs b >= 3, got %d", b)
+		}
+		return mapreduce.ReducerLoadStats(cfg, g.Edges(), partitionMapper(h, b)), nil
+	case "multiway":
+		return mapreduce.ReducerLoadStats(cfg, g.Edges(), multiwayMapper(h, b)), nil
+	case "bucket":
+		return mapreduce.ReducerLoadStats(cfg, g.Edges(), bucketOrderedMapper(h, b)), nil
+	}
+	return mapreduce.LoadStats{}, fmt.Errorf("triangle: unknown algorithm %q", algo)
 }
 
 // trianglesInSparse enumerates each triangle of the local graph once

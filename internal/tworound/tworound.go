@@ -27,6 +27,11 @@ type Result struct {
 	// Chain holds the executed rounds (same metrics as Round1/Round2, in
 	// the engine's multi-round form).
 	Chain *mapreduce.Chain
+	// Abandoned reports that the after-round-1 hook stopped the cascade:
+	// round 2 never ran, Triangles is nil, and the caller is expected to
+	// finish the query another way (adaptive re-planning switches to a
+	// one-round algorithm).
+	Abandoned bool
 }
 
 // Count returns the number of triangles found.
@@ -61,6 +66,18 @@ func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
 // returns ctx.Err(); the Result then carries the metrics of the rounds
 // that ran, with nil Triangles.
 func TrianglesContext(ctx context.Context, g *graph.Graph, cfg mapreduce.Config, sink func([3]graph.Node) bool) (Result, error) {
+	return TrianglesHookContext(ctx, g, cfg, sink, nil)
+}
+
+// TrianglesHookContext is TrianglesContext with a between-rounds hook: after
+// round 1 (the wedge join) completes, afterRound1 — if non-nil — receives
+// the round's measured metrics and the materialized wedge count. Returning
+// false abandons the cascade before round 2: the Result carries the round-1
+// chain with Abandoned set and nil Triangles, and the caller re-plans the
+// rest of the query (this is the mid-query re-planning seam — the cascade's
+// round-1 skew is exactly Metrics.MaxReducerInput vs the mean, observed at
+// the cheapest possible point).
+func TrianglesHookContext(ctx context.Context, g *graph.Graph, cfg mapreduce.Config, sink func([3]graph.Node) bool, afterRound1 func(round1 mapreduce.Metrics, wedges int64) bool) (Result, error) {
 	c := mapreduce.NewChain(cfg)
 
 	// Round 1: key by the shared variable Y. An edge (a, b) with a < b
@@ -94,6 +111,11 @@ func TrianglesContext(ctx context.Context, g *graph.Graph, cfg mapreduce.Config,
 	}, g.Edges())
 	if err != nil {
 		return resultFromChain(nil, int64(len(wedges)), c), err
+	}
+	if afterRound1 != nil && !afterRound1(c.Rounds[0].Metrics, int64(len(wedges))) {
+		res := resultFromChain(nil, int64(len(wedges)), c)
+		res.Abandoned = true
+		return res, nil
 	}
 
 	// Round 2: join the wedges with E(X,Z), keyed by the (X,Z) edge.
@@ -157,6 +179,27 @@ func resultFromChain(tris [][3]graph.Node, wedges int64, c *mapreduce.Chain) Res
 		r.Round2 = c.Rounds[1].Metrics
 	}
 	return r
+}
+
+// Round1LoadStats computes, in O(n + m) without running anything, the exact
+// reducer loads of the cascade's round 1: key y receives one value per
+// incident edge, so Pairs = 2m, Keys is the number of non-isolated nodes,
+// and MaxLoad is the maximum degree — the cascade's skew exposure is the
+// degree distribution itself, which is why it collapses on hub graphs.
+func Round1LoadStats(g *graph.Graph) mapreduce.LoadStats {
+	var ls mapreduce.LoadStats
+	for u := 0; u < g.NumNodes(); u++ {
+		d := int64(g.Degree(graph.Node(u)))
+		if d == 0 {
+			continue
+		}
+		ls.Pairs += d
+		ls.Keys++
+		if d > ls.MaxLoad {
+			ls.MaxLoad = d
+		}
+	}
+	return ls
 }
 
 // WedgeCount returns the exact number of ordered wedges Σ over middles of

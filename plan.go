@@ -38,11 +38,28 @@ type Candidate struct {
 	// CommPerEdge is the model-predicted communication per data edge.
 	CommPerEdge float64
 	// EstComm is CommPerEdge × |E| — the predicted key-value pairs
-	// shipped, the quantity Auto minimizes.
+	// shipped, the quantity Auto minimizes (under WithAdaptive it is the
+	// probed, exact pair count instead of the model estimate).
 	EstComm int64
 	// EstShuffleBytes roughly estimates the reduce-side shuffle footprint
 	// (pairs × per-pair heap overhead), used for the spill prediction.
 	EstShuffleBytes int64
+
+	// The Observed* fields are filled by WithAdaptive's map-only load
+	// probes (zero otherwise): the exact pairs the candidate's mapper
+	// ships, the hottest reducer's input, the mean reducer input, and
+	// their ratio — the measured counterpart of the closed-form estimates.
+	ObservedComm     int64   `json:",omitempty"`
+	ObservedMaxLoad  int64   `json:",omitempty"`
+	ObservedMeanLoad float64 `json:",omitempty"`
+	ObservedSkew     float64 `json:",omitempty"`
+	// AdjustedCost is the skew-aware cost adaptive Auto minimizes:
+	// max(ObservedComm, k × ObservedMaxLoad) — k × the parallel makespan
+	// under k reducer slots, in pair units, so balanced candidates score
+	// their communication and skewed ones their straggler.
+	AdjustedCost int64 `json:",omitempty"`
+	// Probed reports whether the adaptive planner probed this candidate.
+	Probed bool `json:",omitempty"`
 }
 
 // QueryPlan is an explainable execution plan produced by Plan: the chosen
@@ -65,6 +82,18 @@ type QueryPlan struct {
 	PredictedSpill bool
 	// MemoryBudget echoes the configured budget (0 = unlimited).
 	MemoryBudget int64 `json:",omitempty"`
+	// Adaptive reports that WithAdaptive probed the candidates and the
+	// plan was ranked by observed loads; Probes lists every probe row.
+	Adaptive bool `json:",omitempty"`
+	// SkewThreshold is the max/mean load ratio adaptive execution re-plans
+	// at (only set when Adaptive).
+	SkewThreshold float64 `json:",omitempty"`
+	// Probes is the adaptive planner's probe table: one row per probed
+	// configuration (bucket-style candidates are probed at raised bucket
+	// counts too), in probing order — cheapest static estimate first.
+	// Candidates whose static estimate already exceeds the best probed
+	// adjusted cost are skipped (they cannot win) and have no rows.
+	Probes []LoadProbe `json:",omitempty"`
 
 	graph  *Graph
 	sample *Sample
@@ -96,8 +125,11 @@ func Plan(g *Graph, s *Sample, opts ...Option) (*QueryPlan, error) {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	if o.buckets > 255 {
-		return nil, fmt.Errorf("subgraphmr: bucket count %d exceeds 255", o.buckets)
+	if o.targetReducers <= 0 {
+		o.targetReducers = defaultTargetReducers
+	}
+	if o.buckets > shares.MaxIntShare {
+		return nil, fmt.Errorf("subgraphmr: bucket count %d exceeds %d", o.buckets, shares.MaxIntShare)
 	}
 	p := s.P()
 	qs, err := planCQs(s, o)
@@ -117,13 +149,24 @@ func Plan(g *Graph, s *Sample, opts ...Option) (*QueryPlan, error) {
 		twoRoundCandidate(g, s, m),
 	}
 
+	var probes []LoadProbe
+	if o.adaptive {
+		probes = probeCandidates(g, s, qs, cands, o)
+	}
+
+	cost := func(c Candidate) int64 {
+		if o.adaptive && c.Probed {
+			return c.AdjustedCost
+		}
+		return c.EstComm
+	}
 	chosen := -1
 	if o.strategy == StrategyAuto {
 		for i, c := range cands {
 			if !c.Viable {
 				continue
 			}
-			if chosen < 0 || c.EstComm < cands[chosen].EstComm {
+			if chosen < 0 || cost(c) < cost(cands[chosen]) {
 				chosen = i
 			}
 		}
@@ -154,6 +197,11 @@ func Plan(g *Graph, s *Sample, opts ...Option) (*QueryPlan, error) {
 		graph:        g,
 		sample:       s,
 		opts:         o,
+	}
+	if o.adaptive {
+		plan.Adaptive = true
+		plan.SkewThreshold = o.resolvedSkewThreshold()
+		plan.Probes = probes
 	}
 	if o.memoryBudget > 0 && plan.Chosen.EstShuffleBytes > o.memoryBudget {
 		plan.PredictedSpill = true
@@ -187,16 +235,13 @@ func planCQs(s *Sample, o planOpts) ([]*CQ, error) {
 
 // resolveBuckets picks the bucket count for bucket-style strategies: the
 // explicit override, or the shared Theorem 4.2 derivation — the same
-// helper execution uses, so plan and job cannot diverge.
+// helper execution uses, so plan and job cannot diverge. (Plan resolves
+// the targetReducers default before any candidate is built.)
 func resolveBuckets(p int, o planOpts) int {
 	if o.buckets > 0 {
 		return o.buckets
 	}
-	k := o.targetReducers
-	if k <= 0 {
-		k = 1024
-	}
-	return shares.BucketsForReducers(k, p)
+	return shares.BucketsForReducers(o.targetReducers, p)
 }
 
 func finishCandidate(c Candidate, m int64) Candidate {
@@ -224,18 +269,23 @@ func bucketCandidate(st PlanStrategy, p int, m int64, o planOpts) Candidate {
 }
 
 // variableCandidate costs the Section 4.3 variable-oriented strategy at
-// the integer shares execution will actually use.
+// the integer shares execution will actually use. Shares the engine cannot
+// encode (over shares.MaxIntShare) make the candidate non-viable here, at
+// plan time — Run would otherwise reject the same shares mid-execution.
 func variableCandidate(p int, m int64, qs []*CQ, o planOpts) Candidate {
 	k := float64(o.targetReducers)
-	if k <= 0 {
-		k = 1024
-	}
 	model := shares.VariableOrientedModel(p, qs)
 	sol, err := model.Solve(k)
 	if err != nil {
 		return Candidate{Strategy: StrategyVariableOriented, Reason: err.Error()}
 	}
 	intShares := model.RoundShares(sol.Shares, k)
+	if mx := shares.MaxShare(intShares); mx > shares.MaxIntShare {
+		return Candidate{
+			Strategy: StrategyVariableOriented,
+			Reason:   fmt.Sprintf("share %d exceeds the engine limit %d (lower TargetReducers)", mx, shares.MaxIntShare),
+		}
+	}
 	fs := make([]float64, p)
 	var reducers int64 = 1
 	for v, sh := range intShares {
@@ -254,12 +304,11 @@ func variableCandidate(p int, m int64, qs []*CQ, o planOpts) Candidate {
 }
 
 // cqCandidate costs the Section 4.1 strategy: one job per merged CQ, each
-// with its own optimized shares; the total cost is the sum over jobs.
+// with its own optimized shares; the total cost is the sum over jobs. Any
+// job whose shares exceed the engine limit rules the candidate out at plan
+// time (Run would reject those shares mid-sequence otherwise).
 func cqCandidate(p int, m int64, qs []*CQ, o planOpts) Candidate {
 	k := float64(o.targetReducers)
-	if k <= 0 {
-		k = 1024
-	}
 	var (
 		jobShares [][]int
 		reducers  int64
@@ -272,6 +321,12 @@ func cqCandidate(p int, m int64, qs []*CQ, o planOpts) Candidate {
 			return Candidate{Strategy: StrategyCQOriented, Reason: err.Error()}
 		}
 		intShares := model.RoundShares(sol.Shares, k)
+		if mx := shares.MaxShare(intShares); mx > shares.MaxIntShare {
+			return Candidate{
+				Strategy: StrategyCQOriented,
+				Reason:   fmt.Sprintf("share %d exceeds the engine limit %d (lower TargetReducers)", mx, shares.MaxIntShare),
+			}
+		}
 		fs := make([]float64, p)
 		var r int64 = 1
 		for v, sh := range intShares {
@@ -300,9 +355,6 @@ func triangleCandidate(st PlanStrategy, s *Sample, m int64, o planOpts) Candidat
 		return Candidate{Strategy: st, Reason: "triangle algorithms require the triangle sample"}
 	}
 	k := int64(o.targetReducers)
-	if k <= 0 {
-		k = 1024
-	}
 	var (
 		b        int
 		comm     float64
@@ -355,24 +407,28 @@ func triangleCandidate(st PlanStrategy, s *Sample, m int64, o planOpts) Candidat
 // round 1 ships 2 pairs per edge, round 2 ships every materialized wedge
 // plus each edge once, so the total is 3m + W with W the exact wedge count
 // (an O(n + m) scan — the planner pays it to expose how badly the cascade
-// loses on skewed graphs).
+// loses on skewed graphs). The exact integer 3m + W is EstComm directly —
+// round-tripping it through the per-edge float (as finishCandidate does for
+// the model-priced candidates) loses ulps on large graphs and could flip
+// Auto tie-breaks; CommPerEdge is derived for display instead.
 func twoRoundCandidate(g *Graph, s *Sample, m int64) Candidate {
 	if !isTriangleSample(s) {
 		return Candidate{Strategy: StrategyTwoRound, Reason: "the two-round cascade supports the triangle sample only"}
 	}
 	w := tworound.WedgeCount(g)
-	comm := 0.0
-	if m > 0 {
-		comm = float64(3*m+w) / float64(m)
+	c := Candidate{
+		Strategy: StrategyTwoRound,
+		Viable:   true,
+		Jobs:     2,
+		Rounds:   2,
+		Reducers: int64(g.NumNodes()) + m + w, // upper bound on distinct keys
+		EstComm:  3*m + w,
 	}
-	return finishCandidate(Candidate{
-		Strategy:    StrategyTwoRound,
-		Viable:      true,
-		Jobs:        2,
-		Rounds:      2,
-		Reducers:    int64(g.NumNodes()) + m + w, // upper bound on distinct keys
-		CommPerEdge: comm,
-	}, m)
+	c.EstShuffleBytes = c.EstComm * planPairOverhead
+	if m > 0 {
+		c.CommPerEdge = float64(c.EstComm) / float64(m)
+	}
+	return c
 }
 
 // isTriangleSample reports whether s is the triangle (the connected
@@ -400,7 +456,11 @@ func (p *QueryPlan) Explain() string {
 		s, s.P(), g.NumNodes(), g.NumEdges())
 	fmt.Fprintf(&sb, "plan: %v", p.Strategy)
 	if p.opts.strategy == StrategyAuto {
-		sb.WriteString(" (auto: lowest estimated communication)")
+		if p.Adaptive {
+			sb.WriteString(" (auto: lowest skew-adjusted cost from load probes)")
+		} else {
+			sb.WriteString(" (auto: lowest estimated communication)")
+		}
 	}
 	sb.WriteByte('\n')
 	c := p.Chosen
@@ -434,8 +494,30 @@ func (p *QueryPlan) Explain() string {
 			fmt.Fprintf(&sb, "  %s %-24v not viable: %s\n", marker, cand.Strategy, cand.Reason)
 			continue
 		}
-		fmt.Fprintf(&sb, "  %s %-24v %10.2f pairs/edge  %12d total  reducers=%d\n",
+		fmt.Fprintf(&sb, "  %s %-24v %10.2f pairs/edge  %12d total  reducers=%d",
 			marker, cand.Strategy, cand.CommPerEdge, cand.EstComm, cand.Reducers)
+		if cand.Probed {
+			fmt.Fprintf(&sb, "  adjusted=%d", cand.AdjustedCost)
+		}
+		sb.WriteByte('\n')
+	}
+	if p.Adaptive && len(p.Probes) > 0 {
+		fmt.Fprintf(&sb, "probes (adaptive, skew threshold %.1f):\n", p.SkewThreshold)
+		for _, pr := range p.Probes {
+			marker := " "
+			if pr.Applied {
+				marker = "*"
+			}
+			config := ""
+			switch {
+			case pr.Buckets > 0:
+				config = fmt.Sprintf("b=%d", pr.Buckets)
+			case len(pr.Shares) > 0:
+				config = fmt.Sprintf("shares=%v", pr.Shares)
+			}
+			fmt.Fprintf(&sb, "  %s %-24v %-12s comm=%-10d keys=%-8d maxload=%-8d mean=%-9.1f skew=%-7.2f adjusted=%d\n",
+				marker, pr.Strategy, config, pr.Comm, pr.Keys, pr.MaxLoad, pr.MeanLoad, pr.Skew, pr.AdjustedCost)
+		}
 	}
 	return sb.String()
 }

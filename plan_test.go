@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"subgraphmr/internal/tworound"
 )
 
 // planSamples is the acceptance corpus: the paper's Fig. 3/4 samples plus
@@ -53,10 +55,13 @@ func TestAutoPicksCheapest(t *testing.T) {
 // TestAutoPrefersSharesOnStars checks the planner actually switches
 // strategies when share optimization wins: a star's leaves all take share
 // 1, so variable-oriented ships far fewer copies than the uniform bucket
-// scheme.
+// scheme. The budget must keep the center's share within the engine's
+// 255-per-variable limit (a star's center takes the whole budget), or the
+// candidate is correctly non-viable — TestPlanRunParityExtremeReducers
+// covers that side.
 func TestAutoPrefersSharesOnStars(t *testing.T) {
 	g := Gnm(300, 1200, 7)
-	plan, err := Plan(g, StarSample(5), WithTargetReducers(512))
+	plan, err := Plan(g, StarSample(5), WithTargetReducers(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,6 +256,110 @@ func TestAutoNeverPicksUnrunnablePlan(t *testing.T) {
 	}
 	if res.Count != CountTriangles(g) {
 		t.Errorf("count %d, oracle %d", res.Count, CountTriangles(g))
+	}
+}
+
+// TestPlanRunParityExtremeReducers pins the planner/execution parity
+// contract across extreme TargetReducers: whenever Plan returns a plan,
+// Run must execute it — derived bucket counts and integer shares that the
+// engine cannot encode (over 255) must surface as plan-time non-viability,
+// never as a Run-time error. (The star's center share equals the whole
+// budget, so it crosses the limit first.)
+func TestPlanRunParityExtremeReducers(t *testing.T) {
+	ctx := context.Background()
+	g := Gnm(40, 100, 1)
+	samples := []struct {
+		name string
+		s    *Sample
+	}{
+		{"triangle", Triangle()},
+		{"square", Square()},
+		{"star5", StarSample(5)},
+	}
+	strategies := []PlanStrategy{
+		StrategyAuto, StrategyBucketOriented, StrategyVariableOriented,
+		StrategyCQOriented, StrategyDecomposed,
+	}
+	for _, k := range []int{-1, 0, 1, 2, 64, 1024, 100000, 1000000} {
+		for _, tc := range samples {
+			if tc.name == "square" && k > 1024 {
+				// The square's shares stay within the limit at any budget;
+				// the extreme-k rows exist for the capped derivations and
+				// the star's share blow-up, so skip the slow p=4 runs.
+				continue
+			}
+			want := int64(len(BruteForce(g, tc.s)))
+			for _, st := range strategies {
+				label := fmt.Sprintf("%s/%v/k=%d", tc.name, st, k)
+				plan, err := Plan(g, tc.s, WithStrategy(st), WithTargetReducers(k), WithSeed(1))
+				if err != nil {
+					continue // non-viable at plan time: Plan and Run agree by construction
+				}
+				res, err := Run(ctx, plan)
+				if err != nil {
+					t.Errorf("%s: Plan succeeded but Run failed: %v\n%s", label, err, plan.Explain())
+					continue
+				}
+				if res.Count != want {
+					t.Errorf("%s: %d instances, oracle %d", label, res.Count, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShareLimitNonViableAtPlanTime pins the headline regression directly:
+// a budget whose integer shares exceed the engine's 255 limit used to
+// produce a Viable variable-oriented candidate that Run then rejected.
+func TestShareLimitNonViableAtPlanTime(t *testing.T) {
+	g := Gnm(40, 100, 1)
+	plan, err := Plan(g, StarSample(5), WithTargetReducers(1000000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan.Candidates {
+		switch c.Strategy {
+		case StrategyVariableOriented, StrategyCQOriented:
+			if c.Viable {
+				t.Errorf("%v viable at k=10^6 on a star — its center share cannot encode", c.Strategy)
+			} else if !strings.Contains(c.Reason, "exceeds the engine limit") {
+				t.Errorf("%v non-viable for the wrong reason: %q", c.Strategy, c.Reason)
+			}
+		case StrategyBucketOriented, StrategyDecomposed:
+			if !c.Viable {
+				t.Errorf("%v should stay viable (derived b is capped): %q", c.Strategy, c.Reason)
+			}
+			if c.Buckets > 255 {
+				t.Errorf("%v derived b=%d over the encoding limit", c.Strategy, c.Buckets)
+			}
+		}
+	}
+	if _, err := Run(context.Background(), plan); err != nil {
+		t.Errorf("auto plan at k=10^6 failed to run: %v", err)
+	}
+}
+
+// TestCascadeIntegerEstComm pins the cascade candidate's exact integer
+// cost: EstComm must be precisely 3m + W (not a float round-trip through
+// CommPerEdge, which drifts on large totals and can flip Auto tie-breaks).
+func TestCascadeIntegerEstComm(t *testing.T) {
+	g := PowerLaw(5000, 12, 2.1, 3)
+	plan, err := Plan(g, Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := int64(g.NumEdges())
+	want := 3*m + tworound.WedgeCount(g)
+	for _, c := range plan.Candidates {
+		if c.Strategy != StrategyTwoRound {
+			continue
+		}
+		if c.EstComm != want {
+			t.Errorf("cascade EstComm %d, exact 3m+W = %d", c.EstComm, want)
+		}
+		if got := float64(c.EstComm) / float64(m); c.CommPerEdge != got {
+			t.Errorf("cascade CommPerEdge %v, want derived %v", c.CommPerEdge, got)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"subgraphmr/internal/core"
 	"subgraphmr/internal/graph"
+	"subgraphmr/internal/mapreduce"
 	"subgraphmr/internal/triangle"
 	"subgraphmr/internal/tworound"
 )
@@ -209,14 +210,28 @@ func runTriangle(ctx context.Context, p *QueryPlan, sink func([3]Node) bool) (*R
 			PredictedCommPerEdge: p.Chosen.CommPerEdge,
 			OptimalCommPerEdge:   p.Chosen.CommPerEdge,
 			Metrics:              tr.Metrics,
+			ObservedSkew:         tr.Metrics.Skew(),
 		}},
 	}, nil
 }
 
 // runTwoRound executes the cascade baseline and adapts its per-round
-// metrics into one JobStats entry per round.
+// metrics into one JobStats entry per round. Under WithAdaptive the cascade
+// is resumable mid-query: after round 1 (the wedge join), the observed
+// reducer skew is compared against the threshold, and a breach abandons
+// round 2 in favor of the one-round bucket-ordered algorithm at the plan's
+// probed configuration — the remaining work re-planned at the cheapest
+// observable point, before the wedge relation is shipped again.
 func runTwoRound(ctx context.Context, p *QueryPlan, sink func([3]Node) bool) (*Result, error) {
-	tr, err := tworound.TrianglesContext(ctx, p.graph, p.opts.engineConfig(), sink)
+	cfg := p.opts.engineConfig()
+	var afterRound1 func(mapreduce.Metrics, int64) bool
+	if p.opts.adaptive {
+		threshold := p.opts.resolvedSkewThreshold()
+		afterRound1 = func(round1 mapreduce.Metrics, _ int64) bool {
+			return round1.Skew() <= threshold
+		}
+	}
+	tr, err := tworound.TrianglesHookContext(ctx, p.graph, cfg, sink, afterRound1)
 	if err != nil {
 		return nil, err
 	}
@@ -235,9 +250,47 @@ func runTwoRound(ctx context.Context, p *QueryPlan, sink func([3]Node) bool) (*R
 			PredictedCommPerEdge: predicted,
 			OptimalCommPerEdge:   predicted,
 			Metrics:              round.Metrics,
+			ObservedSkew:         round.Metrics.Skew(),
 		})
 	}
+	if !tr.Abandoned {
+		return res, nil
+	}
+
+	// Mid-query re-plan: round 1's loads proved skewed, so the wedges are
+	// discarded and the whole query runs as the one-round Section 2.3
+	// algorithm instead (identical triangle set; only the configuration
+	// changed). The round-1 stats stay in Jobs so the switch is auditable.
+	b := p.fallbackTriangleBuckets()
+	tb, err := triangle.BucketOrderedContext(ctx, p.graph, b, p.opts.seed, cfg, sink)
+	if err != nil {
+		return nil, err
+	}
+	res.Instances = triplesToInstances(tb.Triangles)
+	res.Count = tb.Metrics.Outputs
+	res.Jobs = append(res.Jobs, JobStats{
+		Label:                fmt.Sprintf("replanned from skew %.2f → %v b=%d", res.Jobs[0].ObservedSkew, StrategyTriangleBucketOrdered, tb.Buckets),
+		Shares:               uniformIntShares(3, tb.Buckets),
+		PredictedCommPerEdge: triangle.BucketOrderedCommPerEdge(tb.Buckets),
+		OptimalCommPerEdge:   triangle.BucketOrderedCommPerEdge(tb.Buckets),
+		Metrics:              tb.Metrics,
+		ObservedSkew:         tb.Metrics.Skew(),
+		Replanned:            true,
+	})
 	return res, nil
+}
+
+// fallbackTriangleBuckets picks the bucket count the cascade's mid-query
+// re-plan switches to: the plan's triangle-bucket-ordered candidate (probe-
+// informed under WithAdaptive), or the Theorem 4.2 derivation if the
+// candidate is somehow absent.
+func (p *QueryPlan) fallbackTriangleBuckets() int {
+	for _, c := range p.Candidates {
+		if c.Strategy == StrategyTriangleBucketOrdered && c.Viable && c.Buckets > 0 {
+			return c.Buckets
+		}
+	}
+	return triangle.BucketsForReducers(int64(p.opts.targetReducers), triangle.BucketOrderedReducers)
 }
 
 func triplesToInstances(tris [][3]graph.Node) [][]Node {

@@ -5,19 +5,26 @@
 # writes a JSON trajectory point (ns/op, B/op, allocs/op, custom metrics
 # per benchmark) that future perf PRs diff against.
 #
-#   ./scripts/bench.sh                        # writes BENCH_PR4.json, 1s/bench
+#   ./scripts/bench.sh                        # writes BENCH_PR5.json diffed
+#                                             # against BENCH_PR4.json, 1s/bench
 #   BENCHTIME=1x ./scripts/bench.sh           # CI smoke: one iteration each
 #   OUT=/tmp/b.json BASELINE=BENCH_PR4.json ./scripts/bench.sh
 #                                             # compare a new run against the
 #                                             # committed baseline (embeds
 #                                             # speedup_ns per benchmark)
+#
+# The filter includes the skewed-graph adaptive benchmark (static vs
+# adaptive maxload and ns/op) so BENCH_PR5.json tracks the skew win.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_PR4.json}"
-FILTER="${FILTER:-BenchmarkEnumerateStrategies|BenchmarkFig2TriangleConcrete|BenchmarkMapReduceEngine}"
+OUT="${OUT:-BENCH_PR5.json}"
+FILTER="${FILTER:-BenchmarkEnumerateStrategies|BenchmarkFig2TriangleConcrete|BenchmarkMapReduceEngine|BenchmarkAdaptiveSkewedGraph}"
 NOTE="${NOTE:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+if [ -z "${BASELINE+x}" ] && [ -f BENCH_PR4.json ]; then
+    BASELINE=BENCH_PR4.json
+fi
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
