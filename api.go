@@ -2,6 +2,7 @@ package subgraphmr
 
 import (
 	"fmt"
+	"time"
 
 	"subgraphmr/internal/core"
 	"subgraphmr/internal/mapreduce"
@@ -95,6 +96,16 @@ type planOpts struct {
 	spillDir       string
 	adaptive       bool
 	skewThreshold  float64
+
+	// Distributed execution (see distributed.go). workers routes runs
+	// through already-listening worker processes; spawnWorkers forks n
+	// local ones instead. dist is worker-side only: the key-space slices
+	// this process owns.
+	workers       []string
+	spawnWorkers  int
+	workerTimeout time.Duration
+	fault         FaultSpec
+	dist          *mapreduce.DistFilter
 }
 
 // defaultTargetReducers is the reducer budget k used when none is given —
@@ -184,6 +195,7 @@ func (o planOpts) engineConfig() mapreduce.Config {
 		Partitions:   o.partitions,
 		MemoryBudget: o.memoryBudget,
 		SpillDir:     o.spillDir,
+		Dist:         o.dist,
 	}
 }
 
@@ -204,5 +216,6 @@ func (o planOpts) coreOptions(strategy core.Strategy, buckets int) core.Options 
 		SpillDir:       o.spillDir,
 		AdaptiveReplan: o.adaptive,
 		SkewThreshold:  o.skewThreshold,
+		Dist:           o.dist,
 	}
 }

@@ -19,6 +19,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,31 +51,51 @@ type Document struct {
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-func main() {
-	baselinePath := flag.String("baseline", "", "prior benchjson output to embed as the comparison baseline")
-	note := flag.String("note", "", "free-form note recorded in the document")
-	flag.Parse()
+// errUsage signals a flag-parse failure the FlagSet already reported, so
+// main exits without printing it a second time.
+var errUsage = errors.New("usage")
 
-	doc, err := parse(os.Stdin)
-	if err != nil {
+func main() {
+	switch err := run(os.Args[1:], os.Stdin, os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// run executes one benchjson invocation: bench output on in, the JSON
+// document on out. It is main minus the process plumbing, so tests can pin
+// the emitted schema.
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "prior benchjson output to embed as the comparison baseline")
+	note := fs.String("note", "", "free-form note recorded in the document")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
+
+	doc, err := parse(in)
+	if err != nil {
+		return err
 	}
 	doc.Note = *note
 
 	if *baselinePath != "" {
 		if err := embedBaseline(doc, *baselinePath); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	return enc.Encode(doc)
 }
 
 // parse reads benchmark lines of the form
@@ -118,7 +139,7 @@ func parse(r io.Reader) (*Document, error) {
 		return nil, err
 	}
 	if len(doc.Benchmarks) == 0 {
-		return nil, fmt.Errorf("no benchmark lines found on stdin")
+		return nil, fmt.Errorf("no benchmark lines found on input")
 	}
 	return doc, nil
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+BenchmarkTriangle/gnm-16         	      15	  75628233 ns/op	       13.70 comm/edge	18559115 B/op	    6101 allocs/op
+BenchmarkSquare-16               	       8	 142000000 ns/op
+PASS
+`
+
+// TestSchema pins the emitted JSON shape: every benchmark line becomes an
+// entry keyed by its name minus the GOMAXPROCS suffix, with ns/op, B/op,
+// allocs/op and custom metrics in their fields.
+func TestSchema(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-note", "PR 6"}, strings.NewReader(benchText), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Note != "PR 6" {
+		t.Fatalf("note %q", doc.Note)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	tri, ok := doc.Benchmarks["BenchmarkTriangle/gnm"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: keys %v", keys(doc.Benchmarks))
+	}
+	if tri.NsPerOp != 75628233 || tri.BytesPerOp != 18559115 || tri.AllocsPerOp != 6101 {
+		t.Fatalf("parsed values: %+v", tri)
+	}
+	if tri.Metrics["comm/edge"] != 13.70 {
+		t.Fatalf("custom metric lost: %+v", tri.Metrics)
+	}
+	if sq := doc.Benchmarks["BenchmarkSquare"]; sq.NsPerOp != 142000000 || sq.Metrics != nil {
+		t.Fatalf("BenchmarkSquare: %+v", sq)
+	}
+}
+
+// TestBaselineEmbedding checks -baseline folds a prior document in and
+// computes the speedup.
+func TestBaselineEmbedding(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	base := `{"note":"old","benchmarks":{"BenchmarkSquare":{"ns_per_op":284000000,"metrics":{"maxload":9}}}}`
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-baseline", path}, strings.NewReader(benchText), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.BaselineNote != "old" {
+		t.Fatalf("baseline note %q", doc.BaselineNote)
+	}
+	sq := doc.Benchmarks["BenchmarkSquare"]
+	if sq.BaselineNsPerOp != 284000000 || sq.SpeedupNs != 2 {
+		t.Fatalf("baseline fold: %+v", sq)
+	}
+	if sq.BaselineMetrics["maxload"] != 9 {
+		t.Fatalf("baseline metrics lost: %+v", sq.BaselineMetrics)
+	}
+	// The benchmark absent from the baseline stays unannotated.
+	if tri := doc.Benchmarks["BenchmarkTriangle/gnm"]; tri.BaselineNsPerOp != 0 || tri.SpeedupNs != 0 {
+		t.Fatalf("unmatched benchmark annotated: %+v", tri)
+	}
+}
+
+func TestRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("accepted input with no benchmark lines")
+	}
+	if err := run(nil, strings.NewReader("BenchmarkBad 3 zzz ns/op\n"), &out); err == nil {
+		t.Fatal("accepted a malformed value")
+	}
+}
+
+func keys(m map[string]Result) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

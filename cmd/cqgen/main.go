@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,111 +24,135 @@ import (
 	"subgraphmr/internal/shares"
 )
 
-func main() {
-	var (
-		sampleName = flag.String("sample", "", "sample graph name (see sgmr -help)")
-		cycleP     = flag.Int("cycle", 0, "generate Section 5 cycle CQs for C_p")
-		k          = flag.Float64("shares", 0, "if > 0, also print optimal shares for this reducer budget")
-	)
-	flag.Parse()
+// errUsage signals a flag-parse failure the FlagSet already reported, so
+// main exits without printing it a second time.
+var errUsage = errors.New("usage")
 
-	switch {
-	case *cycleP >= 3:
-		printCycleCQs(*cycleP)
-	case *sampleName != "":
-		s := subgraphmr.NamedSample(*sampleName)
-		if s == nil {
-			fmt.Fprintf(os.Stderr, "cqgen: unknown sample %q\n", *sampleName)
-			os.Exit(1)
-		}
-		printSampleCQs(s, *k)
-	default:
-		flag.Usage()
+func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, errUsage):
 		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "cqgen: %v\n", err)
+		os.Exit(1)
 	}
 }
 
-func printSampleCQs(s *subgraphmr.Sample, k float64) {
-	fmt.Printf("sample graph: %v\n", s)
+// run executes one cqgen invocation, writing the report to out. It is main
+// minus the process plumbing, so tests can pin the generated CQ sets.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cqgen", flag.ContinueOnError)
+	var (
+		sampleName = fs.String("sample", "", "sample graph name (see sgmr -help)")
+		cycleP     = fs.Int("cycle", 0, "generate Section 5 cycle CQs for C_p")
+		k          = fs.Float64("shares", 0, "if > 0, also print optimal shares for this reducer budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
+
+	switch {
+	case *cycleP >= 3:
+		printCycleCQs(out, *cycleP)
+		return nil
+	case *sampleName != "":
+		s := subgraphmr.NamedSample(*sampleName)
+		if s == nil {
+			return fmt.Errorf("unknown sample %q", *sampleName)
+		}
+		return printSampleCQs(out, s, *k)
+	default:
+		fs.Usage()
+		return errUsage
+	}
+}
+
+func printSampleCQs(out io.Writer, s *subgraphmr.Sample, k float64) error {
+	fmt.Fprintf(out, "sample graph: %v\n", s)
 	auts := s.Automorphisms()
-	fmt.Printf("automorphism group: %d elements; Sym(%d) has %d; quotient size %d\n",
+	fmt.Fprintf(out, "automorphism group: %d elements; Sym(%d) has %d; quotient size %d\n",
 		len(auts), s.P(), int(perm.Factorial(s.P())), int(perm.Factorial(s.P()))/len(auts))
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	all := cq.GenerateForSample(s)
-	fmt.Printf("== %d CQs, one per coset of Sym(p)/Aut(S) (Theorem 3.1) ==\n", len(all))
+	fmt.Fprintf(out, "== %d CQs, one per coset of Sym(p)/Aut(S) (Theorem 3.1) ==\n", len(all))
 	for i, q := range all {
-		fmt.Printf("%3d. %s\n", i+1, q)
+		fmt.Fprintf(out, "%3d. %s\n", i+1, q)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	groups := cq.OrientationGroups(all)
-	fmt.Printf("== orientation groups (Fig. 6 style) ==\n")
+	fmt.Fprintf(out, "== orientation groups (Fig. 6 style) ==\n")
 	for i, grp := range groups {
-		fmt.Printf("group %d: CQs %v\n", i+1, grp)
+		fmt.Fprintf(out, "group %d: CQs %v\n", i+1, grp)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	merged := cq.MergeByOrientation(all)
-	fmt.Printf("== %d merged CQs with OR-ed conditions (Section 3.3, Fig. 7 style) ==\n", len(merged))
+	fmt.Fprintf(out, "== %d merged CQs with OR-ed conditions (Section 3.3, Fig. 7 style) ==\n", len(merged))
 	for i, q := range merged {
 		exact := ""
 		if !q.ExactSimplified {
 			exact = "  (condition shown is a relaxation; evaluation uses the exact order set)"
 		}
-		fmt.Printf("%3d. %s%s\n", i+1, q, exact)
+		fmt.Fprintf(out, "%3d. %s%s\n", i+1, q, exact)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	uses := cq.EdgeUses(merged)
-	fmt.Printf("== edge orientations across the merged set (Section 4.3) ==\n")
+	fmt.Fprintf(out, "== edge orientations across the merged set (Section 4.3) ==\n")
 	for _, u := range uses {
 		kind := "unidirectional (relation size e)"
 		if u.Bidirectional() {
 			kind = "bidirectional (relation size 2e)"
 		}
-		fmt.Printf("  %s-%s: %s\n", s.Name(u.I), s.Name(u.J), kind)
+		fmt.Fprintf(out, "  %s-%s: %s\n", s.Name(u.I), s.Name(u.J), kind)
 	}
 
 	if k > 0 {
-		fmt.Println()
+		fmt.Fprintln(out)
 		model := shares.ModelFromEdgeUses(s.P(), uses)
 		sol, err := model.Solve(k)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cqgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("== optimal shares for k=%v reducers (variable-oriented) ==\n", k)
+		fmt.Fprintf(out, "== optimal shares for k=%v reducers (variable-oriented) ==\n", k)
 		for v := 0; v < s.P(); v++ {
 			dom := ""
 			if sol.Dominated[v] {
 				dom = " (dominated)"
 			}
-			fmt.Printf("  share(%s) = %.3f%s\n", s.Name(v), sol.Shares[v], dom)
+			fmt.Fprintf(out, "  share(%s) = %.3f%s\n", s.Name(v), sol.Shares[v], dom)
 		}
-		fmt.Printf("  communication cost: %.2f per data edge\n", sol.CostPerEdge)
+		fmt.Fprintf(out, "  communication cost: %.2f per data edge\n", sol.CostPerEdge)
 		ints := model.RoundShares(sol.Shares, k)
 		fs := make([]float64, len(ints))
 		for i, v := range ints {
 			fs[i] = float64(v)
 		}
-		fmt.Printf("  integer shares %v -> %.2f per edge, %d reducers\n",
+		fmt.Fprintf(out, "  integer shares %v -> %.2f per edge, %d reducers\n",
 			ints, model.CostPerEdge(fs), intProduct(ints))
 		degrees := make([]int, s.P())
 		for i := range degrees {
 			degrees[i] = s.Degree(i)
 		}
 		if closed, which := shares.Theorem43Shares(s.P(), degrees, uses, k); which != shares.Theorem43None {
-			fmt.Printf("  Theorem 4.3 %v closed form: %v -> %.2f per edge\n",
+			fmt.Fprintf(out, "  Theorem 4.3 %v closed form: %v -> %.2f per edge\n",
 				which, closed, model.CostPerEdge(closed))
 		}
 	}
+	return nil
 }
 
-func printCycleCQs(p int) {
+func printCycleCQs(out io.Writer, p int) {
 	ccs := cycles.Generate(p)
-	fmt.Printf("== Section 5 run-sequence CQs for C_%d: %d classes ==\n", p, len(ccs))
-	fmt.Printf("conditional upper bound (2^p-2)/(2p) = %.2f\n\n", cycles.ConditionalUpperBound(p))
+	fmt.Fprintf(out, "== Section 5 run-sequence CQs for C_%d: %d classes ==\n", p, len(ccs))
+	fmt.Fprintf(out, "conditional upper bound (2^p-2)/(2p) = %.2f\n\n", cycles.ConditionalUpperBound(p))
 	for i, c := range ccs {
 		var tags []string
 		if c.Period < p {
@@ -144,8 +170,8 @@ func printCycleCQs(p int) {
 		if len(tags) > 0 {
 			suffix = " [" + strings.Join(tags, ", ") + "]"
 		}
-		fmt.Printf("%2d. orientation %s  runs %v%s\n", i+1, c.Orientation, c.Runs, suffix)
-		fmt.Printf("    %s\n", c.CQ)
+		fmt.Fprintf(out, "%2d. orientation %s  runs %v%s\n", i+1, c.Orientation, c.Runs, suffix)
+		fmt.Fprintf(out, "    %s\n", c.CQ)
 	}
 }
 

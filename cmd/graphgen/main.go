@@ -8,29 +8,56 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"subgraphmr"
 )
 
+// errUsage signals a flag-parse failure the FlagSet already reported, so
+// main exits without printing it a second time.
+var errUsage = errors.New("usage")
+
 func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one graphgen invocation, writing the edge list to out (or
+// the -o file). It is main minus the process plumbing, so tests can drive
+// every generator in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
 	var (
-		typ      = flag.String("type", "gnm", "generator: gnm, gnp, powerlaw, cycle, complete, grid, tree")
-		n        = flag.Int("n", 1000, "nodes")
-		m        = flag.Int("m", 5000, "edges (gnm)")
-		prob     = flag.Float64("p", 0.01, "edge probability (gnp)")
-		avgDeg   = flag.Float64("avgdeg", 8, "average degree (powerlaw)")
-		exponent = flag.Float64("exponent", 2.3, "exponent (powerlaw)")
-		delta    = flag.Int("delta", 4, "degree (tree)")
-		depth    = flag.Int("depth", 5, "depth (tree)")
-		rows     = flag.Int("rows", 30, "rows (grid)")
-		cols     = flag.Int("cols", 30, "cols (grid)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("o", "", "output file (default stdout)")
+		typ      = fs.String("type", "gnm", "generator: gnm, gnp, powerlaw, ba, cycle, complete, grid, tree")
+		n        = fs.Int("n", 1000, "nodes")
+		m        = fs.Int("m", 5000, "edges (gnm)")
+		prob     = fs.Float64("p", 0.01, "edge probability (gnp)")
+		avgDeg   = fs.Float64("avgdeg", 8, "average degree (powerlaw)")
+		exponent = fs.Float64("exponent", 2.3, "exponent (powerlaw)")
+		delta    = fs.Int("delta", 4, "degree (tree)")
+		depth    = fs.Int("depth", 5, "depth (tree)")
+		rows     = fs.Int("rows", 30, "rows (grid)")
+		cols     = fs.Int("cols", 30, "cols (grid)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		outPath  = fs.String("o", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
 
 	var g *subgraphmr.Graph
 	switch *typ {
@@ -51,23 +78,21 @@ func main() {
 	case "tree":
 		g = subgraphmr.RegularTree(*delta, *depth)
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown type %q\n", *typ)
-		os.Exit(1)
+		return fmt.Errorf("unknown type %q", *typ)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := subgraphmr.WriteGraph(w, g); err != nil {
-		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: wrote n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	return nil
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"strings"
+	"testing"
+
+	"subgraphmr"
+)
+
+// TestMain lets the distributed tests re-execute this test binary as
+// worker processes (-distributed spawns re-exec the current executable).
+func TestMain(m *testing.M) {
+	if subgraphmr.MaybeWorkerProcess() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestDistWorkersFlag drives -dist-workers against in-process worker
+// servers and checks the run distributes (summary line) and agrees with a
+// local run's count.
+func TestDistWorkersFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		addrs = append(addrs, ln.Addr().String())
+		go subgraphmr.ServeWorker(ctx, ln)
+	}
+
+	graphArgs := []string{"-sample", "triangle", "-strategy", "tri-bucket", "-gen", "gnm", "-n", "60", "-m", "240", "-seed", "5"}
+	local := runSGMR(t, graphArgs...)
+	dist := runSGMR(t, append(graphArgs, "-dist-workers", strings.Join(addrs, ","))...)
+
+	if !strings.Contains(dist, "distributed: 2 workers") {
+		t.Fatalf("no distributed summary line in output:\n%s", dist)
+	}
+	if !strings.Contains(dist, "retried partitions: 0") {
+		t.Fatalf("healthy run reported retries:\n%s", dist)
+	}
+	if lc, dc := foundCount(t, local), foundCount(t, dist); lc != dc {
+		t.Fatalf("distributed count %d, local %d", dc, lc)
+	}
+}
+
+// TestDistributedKillFlag is the CLI version of CI's forced worker-kill
+// pass: spawn workers, kill the first one that streams, and check the
+// summary records the retry while the count still matches a local run.
+func TestDistributedKillFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	graphArgs := []string{"-sample", "triangle", "-strategy", "bucket", "-gen", "gnm", "-n", "60", "-m", "240", "-seed", "5"}
+	local := runSGMR(t, graphArgs...)
+	dist := runSGMR(t, append(graphArgs, "-distributed", "3", "-fault", "kill")...)
+
+	if !strings.Contains(dist, "distributed: 3 workers") {
+		t.Fatalf("no distributed summary line in output:\n%s", dist)
+	}
+	if strings.Contains(dist, "retried partitions: 0") {
+		t.Fatalf("kill fault recorded no retries:\n%s", dist)
+	}
+	if lc, dc := foundCount(t, local), foundCount(t, dist); lc != dc {
+		t.Fatalf("distributed count %d, local %d", dc, lc)
+	}
+}
+
+// TestDistFlagsRejectSerialStrategies pins the flag validation.
+func TestDistFlagsRejectSerialStrategies(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-sample", "triangle", "-strategy", "serial", "-distributed", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "map-reduce strategy") {
+		t.Fatalf("serial + -distributed: got %v", err)
+	}
+	err = run([]string{"-sample", "triangle", "-strategy", "bucket", "-fault", "kill"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-fault requires") {
+		t.Fatalf("-fault without cluster: got %v", err)
+	}
+	err = run([]string{"-sample", "triangle", "-strategy", "bucket", "-distributed", "2", "-fault", "bogus"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown -fault mode") {
+		t.Fatalf("bogus fault mode: got %v", err)
+	}
+}

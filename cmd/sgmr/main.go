@@ -26,6 +26,20 @@
 // the engine spills sorted runs to disk and merge-streams them into the
 // reducers. -cpuprofile and -memprofile write standard pprof files on
 // exit, for profiling enumeration runs.
+//
+// Distributed execution (multi-process):
+//
+//	sgmr -serve-worker -listen 127.0.0.1:7001      # worker process
+//	sgmr -sample triangle -dist-workers 127.0.0.1:7001,127.0.0.1:7002
+//	sgmr -sample triangle -distributed 3           # spawn 3 local workers
+//	sgmr -sample triangle -distributed 3 -fault kill   # CI fault pass
+//
+// -serve-worker turns the process into a worker serving jobs until
+// interrupted. -dist-workers distributes execution across running workers;
+// -distributed n spawns n local worker processes instead. -fault injects a
+// worker failure (kill, drop, stall) into a distributed run so retry and
+// degradation paths can be exercised from the command line; the summary
+// line reports the retried partition count.
 package main
 
 import (
@@ -35,10 +49,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
+	"syscall"
+	"time"
 
 	"subgraphmr"
 )
@@ -48,6 +67,12 @@ import (
 var errUsage = errors.New("usage")
 
 func main() {
+	// A process re-executed by -distributed n serves jobs instead of
+	// parsing flags; MaybeWorkerProcess returns true once the parent shuts
+	// it down.
+	if subgraphmr.MaybeWorkerProcess() {
+		return
+	}
 	switch err := run(os.Args[1:], os.Stdout); {
 	case err == nil:
 	case errors.Is(err, flag.ErrHelp): // -h/-help: usage printed, success
@@ -107,6 +132,11 @@ func run(args []string, out io.Writer) error {
 		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
 		adaptive   = fs.Bool("adaptive", false, "probe reducer loads before planning and re-plan mid-query on observed skew")
 		skewThresh = fs.Float64("skew-threshold", 0, "observed max/mean load ratio that triggers mid-query re-planning (0 = default 4)")
+		serveFlag  = fs.Bool("serve-worker", false, "serve as a distributed worker process on -listen and never enumerate locally")
+		listenAddr = fs.String("listen", "127.0.0.1:0", "listen address for -serve-worker")
+		distAddrs  = fs.String("dist-workers", "", "comma-separated worker addresses (started with -serve-worker) to distribute execution across")
+		distSpawn  = fs.Int("distributed", 0, "spawn this many local worker processes and distribute execution across them")
+		faultFlag  = fs.String("fault", "", "inject a worker failure into a distributed run: kill, drop or stall (testing/CI)")
 		explain    = fs.Bool("explain", false, "print the chosen plan and candidate costs without running")
 		jsonOut    = fs.Bool("json", false, "emit the plan and result as JSON")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -117,6 +147,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return errUsage
+	}
+
+	if *serveFlag {
+		return serveWorkerCmd(*listenAddr, out)
 	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
@@ -138,17 +172,25 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "sample: %v (p=%d, |Aut|=%d)\n", s, s.P(), len(s.Automorphisms()))
 	}
 
+	var distWorkers []string
+	if *distAddrs != "" {
+		distWorkers = strings.Split(*distAddrs, ",")
+	}
 	if planStrategy, ok := planStrategies[*strategy]; ok {
 		return runPlanned(out, g, s, planStrategy, plannedOptions{
 			k: *k, buckets: *buckets, cycleCQs: *cyclesCQ, countOnly: *countOnly,
 			seed: *hashSeed, workers: *workers, partitions: *partitions,
 			memBudget: *memBudget, spillDir: *spillDir,
 			adaptive: *adaptive, skewThreshold: *skewThresh,
+			distWorkers: distWorkers, distSpawn: *distSpawn, fault: *faultFlag,
 			explain: *explain, jsonOut: *jsonOut, printAll: *printAll,
 		})
 	}
 	if *explain || *jsonOut {
 		return fmt.Errorf("-explain and -json require a map-reduce strategy (got %q)", *strategy)
+	}
+	if len(distWorkers) > 0 || *distSpawn > 0 {
+		return fmt.Errorf("-dist-workers and -distributed require a map-reduce strategy (got %q)", *strategy)
 	}
 
 	var instances [][]subgraphmr.Node
@@ -242,8 +284,42 @@ type plannedOptions struct {
 	spillDir            string
 	adaptive            bool
 	skewThreshold       float64
+	distWorkers         []string
+	distSpawn           int
+	fault               string
 	explain, jsonOut    bool
 	printAll            bool
+}
+
+// serveWorkerCmd is the -serve-worker mode: the process becomes a
+// distributed worker serving jobs on addr until interrupted.
+func serveWorkerCmd(addr string, out io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sgmr: worker listening on %s\n", ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := subgraphmr.ServeWorker(ctx, ln); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// faultSpec translates the -fault flag into the injected failure the
+// difftests use: the first worker to stream an instance is killed/dropped,
+// or worker 0 stalls.
+func faultSpec(mode string) (subgraphmr.FaultSpec, error) {
+	switch mode {
+	case "kill":
+		return subgraphmr.FaultSpec{Mode: subgraphmr.FaultKill, Worker: -1, AfterInstances: 1}, nil
+	case "drop":
+		return subgraphmr.FaultSpec{Mode: subgraphmr.FaultDrop, Worker: -1, AfterInstances: 1}, nil
+	case "stall":
+		return subgraphmr.FaultSpec{Mode: subgraphmr.FaultStall, Worker: 0, AfterInstances: 1}, nil
+	}
+	return subgraphmr.FaultSpec{}, fmt.Errorf("unknown -fault mode %q (want kill, drop or stall)", mode)
 }
 
 // jsonDocument is the -json output shape: the plan (with every candidate
@@ -293,6 +369,27 @@ func runPlanned(out io.Writer, g *subgraphmr.Graph, s *subgraphmr.Sample, st sub
 	if o.skewThreshold > 0 {
 		opts = append(opts, subgraphmr.WithSkewThreshold(o.skewThreshold))
 	}
+	if len(o.distWorkers) > 0 {
+		opts = append(opts, subgraphmr.WithWorkers(o.distWorkers))
+	}
+	if o.distSpawn > 0 {
+		opts = append(opts, subgraphmr.WithDistributed(o.distSpawn))
+	}
+	if o.fault != "" {
+		if len(o.distWorkers) == 0 && o.distSpawn == 0 {
+			return fmt.Errorf("-fault requires -dist-workers or -distributed")
+		}
+		f, err := faultSpec(o.fault)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, subgraphmr.WithFaultInjection(f))
+		if f.Mode == subgraphmr.FaultStall {
+			// A stalled worker is only declared dead at the read deadline;
+			// the default 15s makes an interactive run feel hung.
+			opts = append(opts, subgraphmr.WithWorkerTimeout(3*time.Second))
+		}
+	}
 	plan, err := subgraphmr.Plan(g, s, opts...)
 	if err != nil {
 		return err
@@ -330,6 +427,12 @@ func runPlanned(out io.Writer, g *subgraphmr.Graph, s *subgraphmr.Sample, st sub
 	fmt.Fprintf(out, "strategy: %v, %d CQ(s), %d job(s)\n", plan.Strategy, plan.NumCQs, len(res.Jobs))
 	var total subgraphmr.Metrics
 	for _, job := range res.Jobs {
+		if strings.HasPrefix(job.Label, "distributed:") {
+			// The coordinator's summary entry: no shares or metrics of its
+			// own, just the cluster shape and the retry accounting.
+			fmt.Fprintf(out, "  %s, retried partitions: %d\n", job.Label, job.RetriedPartitions)
+			continue
+		}
 		replanMark := ""
 		if job.Replanned {
 			replanMark = " [replanned]"

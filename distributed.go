@@ -1,0 +1,310 @@
+package subgraphmr
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"subgraphmr/internal/distrib"
+	"subgraphmr/internal/graph"
+	"subgraphmr/internal/mapreduce"
+	"subgraphmr/internal/sample"
+)
+
+// Distributed execution routes Run/Stream/Instances through a
+// coordinator/worker executor (internal/distrib) with no API change: the
+// coordinator slices the distributed key space across worker processes,
+// each worker replays the same plan over the replicated graph keeping only
+// the reducer keys it owns, and the instance streams are unioned. Every
+// strategy emits each instance at exactly one reducer key (the ownership
+// filters of Sections 2 and 4), so the union is exactly-once by
+// construction — the fault-injection difftests pin this bit-identically
+// against local execution.
+
+// FaultMode selects an injectable worker failure for testing distributed
+// runs; see the constants.
+type FaultMode = distrib.FaultMode
+
+const (
+	// FaultNone injects nothing (the zero value).
+	FaultNone = distrib.FaultNone
+	// FaultKill SIGKILLs the target worker process mid-stream (spawned
+	// workers; dialed workers get their connection closed instead).
+	FaultKill = distrib.FaultKill
+	// FaultDrop closes the coordinator's connection to the target worker
+	// mid-stream; the process survives.
+	FaultDrop = distrib.FaultDrop
+	// FaultStall silences the target worker mid-stream until the
+	// coordinator's per-frame read deadline declares it dead.
+	FaultStall = distrib.FaultStall
+)
+
+// FaultSpec describes one injected worker failure: the mode, the target
+// worker index (-1 for kill/drop targets the first worker that streams an
+// instance), and how many of its instances to let through first.
+type FaultSpec = distrib.Fault
+
+// WithWorkers routes execution through already-listening worker processes
+// (started with ServeWorker, e.g. `sgmr -serve-worker`). Unreachable
+// addresses degrade the run to the reachable subset; with none reachable
+// the plan runs locally. Plan signatures are unchanged — planning stays
+// local, only Run/Stream/Instances execution is distributed.
+func WithWorkers(addrs []string) Option {
+	return func(o *planOpts) { o.workers = append([]string(nil), addrs...) }
+}
+
+// WithDistributed spawns n local worker processes by re-executing the
+// current binary and routes execution through them; the processes are torn
+// down when the run finishes (or is cancelled, or the consumer breaks out
+// of Instances). The binary must call MaybeWorkerProcess early in main (or
+// TestMain) for the re-exec to become a worker.
+func WithDistributed(n int) Option {
+	return func(o *planOpts) { o.spawnWorkers = n }
+}
+
+// WithWorkerTimeout sets the coordinator's per-frame read deadline: a
+// worker that sends nothing for this long is declared dead and its
+// partitions are retried on a survivor (default 15s).
+func WithWorkerTimeout(d time.Duration) Option {
+	return func(o *planOpts) { o.workerTimeout = d }
+}
+
+// WithFaultInjection injects one worker failure into a distributed run —
+// the hook behind the fault-injection difftests and CI's forced
+// worker-kill pass. Production runs leave it unset.
+func WithFaultInjection(f FaultSpec) Option {
+	return func(o *planOpts) { o.fault = f }
+}
+
+func (o planOpts) isDistributed() bool {
+	return len(o.workers) > 0 || o.spawnWorkers > 0
+}
+
+// ServeWorker serves distributed jobs on ln until ctx is cancelled: each
+// coordinator connection ships the replicated graph once, then a sequence
+// of jobs, each answered with length-prefixed instance frames and a
+// committing done-frame. This is what `sgmr -serve-worker` runs.
+func ServeWorker(ctx context.Context, ln net.Listener) error {
+	return distrib.Serve(ctx, ln, executeWorkerJob)
+}
+
+// MaybeWorkerProcess turns a process spawned by WithDistributed into a
+// worker: when the spawn sentinel is set it serves jobs until the parent
+// closes its stdin, then reports true (the caller should exit). Call it at
+// the top of main or TestMain.
+func MaybeWorkerProcess() bool {
+	if !distrib.IsSpawnedWorker() {
+		return false
+	}
+	distrib.RunSpawnedWorker(executeWorkerJob)
+	return true
+}
+
+// executeWorkerJob is the Executor the root package injects into distrib:
+// it reconstructs the plan a coordinator shipped and runs it through the
+// same local dispatch Run/Stream use, with the ownership filter installed
+// so only the owned key-space slices are computed and shipped. Adaptive
+// re-planning stays off — a worker that re-planned mid-run would change
+// its reducer keys and desynchronize the cluster's ownership filter.
+func executeWorkerJob(ctx context.Context, g *graph.Graph, req *distrib.JobRequest, emit func([]graph.Node) bool) (*distrib.JobResult, error) {
+	s, err := sample.New(req.SampleP, req.SampleEdges, req.SampleNames...)
+	if err != nil {
+		return nil, err
+	}
+	st := PlanStrategy(req.Strategy)
+	o := defaultPlanOpts()
+	o.strategy = st
+	if req.TargetReducers > 0 {
+		o.targetReducers = req.TargetReducers
+	}
+	o.cycleCQs = req.CycleCQs
+	o.seed = req.Seed
+	o.parallelism = req.Parallelism
+	o.partitions = req.Partitions
+	o.memoryBudget = req.MemoryBudget
+	o.spillDir = req.SpillDir
+	o.dist = mapreduce.NewDistFilter(req.DistTotal, req.Owned)
+	p := &QueryPlan{
+		Strategy: st,
+		Chosen:   Candidate{Strategy: st, Viable: true, Buckets: req.Buckets, CommPerEdge: req.PredictedCommPerEdge},
+		graph:    g,
+		sample:   s,
+		opts:     o,
+	}
+	res, err := runLocalStream(ctx, p, func(phi []Node) bool { return emit(phi) })
+	if err != nil {
+		return nil, err
+	}
+	return &distrib.JobResult{Jobs: res.Jobs, Count: res.Count, NumCQs: res.NumCQs}, nil
+}
+
+// distKeyPartitions picks the total key-space slice count for a cluster of
+// w workers: a few slices per worker, so a failed worker's share is
+// retried at sub-worker granularity, capped to keep the per-job gob
+// headers small.
+func distKeyPartitions(w int) int {
+	d := 4 * w
+	if d > 64 {
+		d = 64
+	}
+	return d
+}
+
+// connectCluster builds the cluster the options describe.
+func connectCluster(ctx context.Context, o planOpts) (*distrib.Cluster, error) {
+	var (
+		cl  *distrib.Cluster
+		err error
+	)
+	if len(o.workers) > 0 {
+		cl, err = distrib.Dial(ctx, o.workers)
+	} else {
+		cl, err = distrib.SpawnLocal(ctx, o.spawnWorkers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cl.Timeout = o.workerTimeout
+	cl.Fault = o.fault
+	return cl, nil
+}
+
+// runDistributed is the coordinator: it assigns key-space slices to
+// workers, streams their committed instances into yield (or materializes
+// them), merges the per-worker job statistics, retries a failed worker's
+// slices on survivors (bounded, with backoff), and degrades whatever
+// cannot finish remotely to filtered local execution. A nil yield
+// materializes (honoring WithCountOnly); a non-nil yield streams with the
+// usual Stream contract.
+func runDistributed(ctx context.Context, p *QueryPlan, yield func([]Node) bool) (*Result, error) {
+	cl, err := connectCluster(ctx, p.opts)
+	if err != nil {
+		// Graceful degradation: with no cluster at all the whole plan runs
+		// locally, recorded in the summary entry so the fallback is
+		// auditable.
+		res, lerr := runLocalFallback(ctx, p, yield)
+		if lerr != nil {
+			return nil, lerr
+		}
+		res.Jobs = append(res.Jobs, JobStats{
+			Label: fmt.Sprintf("distributed: degraded to local execution (%v)", err),
+		})
+		return res, nil
+	}
+	defer cl.Close()
+
+	w := cl.NumWorkers()
+	d := distKeyPartitions(w)
+	base := distrib.JobRequest{
+		Strategy:             int(p.Strategy),
+		Buckets:              p.Chosen.Buckets,
+		PredictedCommPerEdge: p.Chosen.CommPerEdge,
+		TargetReducers:       p.opts.targetReducers,
+		CycleCQs:             p.opts.cycleCQs,
+		Seed:                 p.opts.seed,
+		Parallelism:          p.opts.parallelism,
+		Partitions:           p.opts.partitions,
+		MemoryBudget:         p.opts.memoryBudget,
+		SpillDir:             p.opts.spillDir,
+		SampleP:              p.sample.P(),
+		SampleEdges:          p.sample.Edges(),
+		SampleNames:          p.sample.Names(),
+	}
+	payload := distrib.EncodeGraph(p.graph.NumNodes(), p.graph.Edges())
+
+	res := &Result{}
+	materialize := yield == nil && !p.opts.countOnly
+	var jobs []JobStats
+	accept := func(phi []Node) bool {
+		if yield != nil {
+			if !yield(phi) {
+				return false
+			}
+		} else if materialize {
+			res.Instances = append(res.Instances, phi)
+		}
+		res.Count++
+		return true
+	}
+	commit := func(batch [][]graph.Node, jr *distrib.JobResult) bool {
+		for _, phi := range batch {
+			if !accept(phi) {
+				return false
+			}
+		}
+		jobs = mergeJobStats(jobs, jr.Jobs)
+		if jr.NumCQs > res.NumCQs {
+			res.NumCQs = jr.NumCQs
+		}
+		return true
+	}
+
+	summary := func(retried int) JobStats {
+		return JobStats{
+			Label:             fmt.Sprintf("distributed: %d workers, %d key partitions", w, d),
+			RetriedPartitions: retried,
+		}
+	}
+	retried, unfinished, err := cl.Enumerate(ctx, payload, base, d, commit)
+	if err == distrib.ErrStopped {
+		// The consumer broke out: same contract as Stream's early stop —
+		// partial metrics, nil error.
+		res.Jobs = append(jobs, summary(retried))
+		return res, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(unfinished) > 0 {
+		// Last-resort degradation: the partitions no worker could finish
+		// run locally under the same ownership filter — never the full
+		// plan, which would duplicate the committed instances.
+		retried += len(unfinished)
+		lp := *p
+		lp.opts.workers, lp.opts.spawnWorkers = nil, 0
+		lp.opts.adaptive = false
+		lp.opts.dist = mapreduce.NewDistFilter(d, unfinished)
+		lres, lerr := runLocalStream(ctx, &lp, accept)
+		if lerr != nil {
+			return nil, lerr
+		}
+		jobs = mergeJobStats(jobs, lres.Jobs)
+		if lres.NumCQs > res.NumCQs {
+			res.NumCQs = lres.NumCQs
+		}
+	}
+	res.Jobs = append(jobs, summary(retried))
+	return res, nil
+}
+
+// runLocalFallback runs the whole plan in-process when no worker could be
+// reached, honoring whichever mode (materializing or streaming) the caller
+// was in.
+func runLocalFallback(ctx context.Context, p *QueryPlan, yield func([]Node) bool) (*Result, error) {
+	lp := *p
+	lp.opts.workers, lp.opts.spawnWorkers = nil, 0
+	if yield == nil {
+		return runLocalRun(ctx, &lp)
+	}
+	return runLocalStream(ctx, &lp, yield)
+}
+
+// mergeJobStats folds one worker-job's per-round statistics into the
+// coordinator's accumulator by round index: every worker runs the same
+// rounds (the plan is static), so metrics sum per round — pairs, keys,
+// work and outputs add, the max reducer input takes the max — and for the
+// single-round filtered strategies the merged totals equal a local run's
+// exactly (each key is counted by precisely one owner). Labels and
+// predictions are identical across workers; the first commit's are kept.
+func mergeJobStats(dst []JobStats, src []JobStats) []JobStats {
+	for i, js := range src {
+		if i < len(dst) {
+			dst[i].Metrics.Add(js.Metrics)
+			dst[i].ObservedSkew = dst[i].Metrics.Skew()
+		} else {
+			dst = append(dst, js)
+		}
+	}
+	return dst
+}

@@ -102,6 +102,10 @@ type Options struct {
 	// SkewThreshold is the observed max/mean load ratio above which
 	// AdaptiveReplan revises the remaining jobs (0 = the default, 4).
 	SkewThreshold float64
+	// Dist restricts every job of the enumeration to the owned slices of
+	// the distributed key space (see mapreduce.DistFilter). Set by the
+	// distributed executor on workers; nil for local runs.
+	Dist *mapreduce.DistFilter
 }
 
 func (o Options) reducers() int {
@@ -130,6 +134,7 @@ func (o Options) engineConfig() mapreduce.Config {
 		Partitions:   o.Partitions,
 		MemoryBudget: o.MemoryBudget,
 		SpillDir:     o.SpillDir,
+		Dist:         o.Dist,
 	}
 }
 
@@ -162,6 +167,12 @@ type JobStats struct {
 	// for (0 for bucket-style jobs, which derive b instead); replanned jobs
 	// show the revised budget.
 	TargetReducers int `json:",omitempty"`
+	// RetriedPartitions counts the distributed key-space partitions this
+	// job re-ran on a surviving worker (or locally, as the last resort)
+	// after their original worker failed. Zero for local runs and for
+	// distributed runs without failures; only the coordinator's summary
+	// entry sets it.
+	RetriedPartitions int `json:",omitempty"`
 }
 
 // Result is the outcome of Enumerate.

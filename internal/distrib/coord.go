@@ -1,0 +1,374 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subgraphmr/internal/graph"
+)
+
+// FaultMode selects an injectable worker failure for the difftests.
+type FaultMode int
+
+const (
+	// FaultNone injects nothing.
+	FaultNone FaultMode = iota
+	// FaultKill SIGKILLs the target worker's process (spawned workers; a
+	// dialed worker's connection is closed instead) once the coordinator
+	// has received the threshold number of its instances.
+	FaultKill
+	// FaultDrop closes the coordinator's connection to the target worker
+	// at the threshold — the process survives, the stream dies.
+	FaultDrop
+	// FaultStall makes the target worker stop sending frames at the
+	// threshold (via JobRequest.StallAfter), so the coordinator's
+	// per-frame read deadline declares it dead.
+	FaultStall
+)
+
+// Fault describes one injected failure: the target worker index (-1 for
+// kill/drop means "the first worker that streams an instance", which is
+// robust on sparse outputs where a fixed worker might own no instances)
+// and how many of its instances the coordinator lets through first (0
+// means 1 — the fault must fire mid-stream to be interesting). A fault
+// fires at most once per Cluster.
+type Fault struct {
+	Mode           FaultMode
+	Worker         int
+	AfterInstances int64
+}
+
+// Defaults for the coordinator knobs.
+const (
+	DefaultTimeout      = 15 * time.Second
+	DefaultMaxRetries   = 2
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+// Cluster is a coordinator's view of its workers: one TCP connection each,
+// plus the process handles when the workers were spawned locally.
+type Cluster struct {
+	// Timeout is the per-frame read deadline: a worker that sends nothing
+	// for this long is declared dead (0 = DefaultTimeout).
+	Timeout time.Duration
+	// MaxRetries bounds how many times one partition set is retried after
+	// worker failures before it is abandoned to the caller (0 =
+	// DefaultMaxRetries; negative = no retries).
+	MaxRetries int
+	// RetryBackoff is slept before each retry round (0 = default).
+	RetryBackoff time.Duration
+	// Fault, when Mode != FaultNone, is injected into the first job that
+	// streams from the target worker. It fires at most once per Cluster.
+	Fault Fault
+
+	conns      []*workerConn
+	procs      []*spawnedWorker // parallel to conns; nil entries for dialed workers
+	faultFired atomic.Bool
+}
+
+type workerConn struct {
+	idx       int
+	conn      net.Conn
+	br        *bufio.Reader
+	graphSent bool
+	dead      atomic.Bool
+}
+
+// Dial connects to already-listening workers. Unreachable addresses are
+// skipped (the distributed run degrades to fewer workers); Dial errors only
+// when no worker is reachable.
+func Dial(ctx context.Context, addrs []string) (*Cluster, error) {
+	cl := &Cluster{}
+	var d net.Dialer
+	var firstErr error
+	for _, addr := range addrs {
+		dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		conn, err := d.DialContext(dctx, "tcp", addr)
+		cancel()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cl.conns = append(cl.conns, &workerConn{idx: len(cl.conns), conn: conn, br: bufio.NewReader(conn)})
+		cl.procs = append(cl.procs, nil)
+	}
+	if len(cl.conns) == 0 {
+		return nil, fmt.Errorf("distrib: no reachable workers in %v: %w", addrs, firstErr)
+	}
+	return cl, nil
+}
+
+// NumWorkers reports the cluster's worker count (live or dead).
+func (cl *Cluster) NumWorkers() int { return len(cl.conns) }
+
+// Close tears the cluster down: every connection is closed, every spawned
+// worker process is killed and reaped.
+func (cl *Cluster) Close() {
+	for _, w := range cl.conns {
+		w.dead.Store(true)
+		w.conn.Close()
+	}
+	for _, p := range cl.procs {
+		if p != nil {
+			p.shutdown()
+		}
+	}
+}
+
+func (cl *Cluster) timeout() time.Duration {
+	if cl.Timeout > 0 {
+		return cl.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (cl *Cluster) maxRetries() int {
+	if cl.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	if cl.MaxRetries < 0 {
+		return 0
+	}
+	return cl.MaxRetries
+}
+
+func (cl *Cluster) retryBackoff() time.Duration {
+	if cl.RetryBackoff > 0 {
+		return cl.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+func (cl *Cluster) liveWorkers() []*workerConn {
+	var live []*workerConn
+	for _, w := range cl.conns {
+		if !w.dead.Load() {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// killWorker delivers the injected kill/drop fault to worker idx.
+func (cl *Cluster) killWorker(idx int, mode FaultMode) {
+	if mode == FaultKill && cl.procs[idx] != nil {
+		cl.procs[idx].kill()
+		return
+	}
+	cl.conns[idx].conn.Close()
+}
+
+// ErrStopped is returned by Enumerate when the commit callback stopped the
+// run early (the streaming consumer broke out); it is an orderly outcome,
+// not a failure.
+var ErrStopped = errors.New("distrib: enumeration stopped by consumer")
+
+// task is one schedulable partition set. Retries keep the set intact — the
+// granularity of recovery is the failed worker's assignment.
+type task struct {
+	owned    []int
+	attempts int
+}
+
+// Enumerate runs base (with the key space cut into distTotal slices)
+// across the live workers and commits each completed worker-job through
+// commit: the job's buffered instances — held back until its frameDone so
+// a failed worker contributes nothing — and its JobResult. Calls to commit
+// are serialized. commit returning false stops the run (ErrStopped).
+//
+// A worker failure (transport error, in-band error, or a frame deadline
+// miss) marks it dead; its unfinished partition sets are retried on the
+// survivors in backoff-separated rounds, at most MaxRetries attempts each.
+// Enumerate returns the number of partition retries it performed and the
+// partitions it could not finish (every worker dead or retries exhausted) —
+// the caller degrades those to local execution.
+func (cl *Cluster) Enumerate(ctx context.Context, graphPayload []byte, base JobRequest, distTotal int, commit func(batch [][]graph.Node, res *JobResult) bool) (retried int, failed []int, err error) {
+	live := cl.liveWorkers()
+	if len(live) == 0 {
+		return 0, allPartitions(distTotal), nil
+	}
+
+	// Prompt teardown on cancellation: closing the connections fails every
+	// blocked read immediately instead of waiting out the frame deadline.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, w := range cl.conns {
+				w.dead.Store(true)
+				w.conn.Close()
+			}
+		case <-watchDone:
+		}
+	}()
+
+	// Initial assignment: slice j belongs to worker j mod W.
+	tasks := make([]*task, len(live))
+	for i := range tasks {
+		tasks[i] = &task{}
+	}
+	for j := 0; j < distTotal; j++ {
+		tasks[j%len(live)].owned = append(tasks[j%len(live)].owned, j)
+	}
+
+	var (
+		mu      sync.Mutex // guards commit, next, failed, retried
+		stopped atomic.Bool
+		round   int
+	)
+	for len(tasks) > 0 {
+		live = cl.liveWorkers()
+		if len(live) == 0 {
+			for _, t := range tasks {
+				failed = append(failed, t.owned...)
+			}
+			break
+		}
+		if round > 0 {
+			time.Sleep(cl.retryBackoff())
+		}
+		round++
+
+		// Distribute this round's tasks over the live workers; each worker
+		// executes its queue sequentially on its one connection.
+		queues := make([][]*task, len(live))
+		for i, t := range tasks {
+			queues[i%len(live)] = append(queues[i%len(live)], t)
+		}
+		var next []*task
+		var wg sync.WaitGroup
+		for qi := range queues {
+			if len(queues[qi]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w *workerConn, q []*task) {
+				defer wg.Done()
+				for i, t := range q {
+					if stopped.Load() || ctx.Err() != nil {
+						return
+					}
+					res, batch, rerr := cl.runWorkerJob(ctx, w, graphPayload, base, t, distTotal)
+					if rerr != nil {
+						w.dead.Store(true)
+						w.conn.Close()
+						mu.Lock()
+						t.attempts++
+						retried += len(t.owned)
+						if t.attempts > cl.maxRetries() {
+							retried -= len(t.owned) // abandoned, not retried
+							failed = append(failed, t.owned...)
+						} else {
+							next = append(next, t)
+						}
+						// The dead worker's unattempted queue moves to the
+						// next round untouched (no attempt was made).
+						next = append(next, q[i+1:]...)
+						mu.Unlock()
+						return
+					}
+					mu.Lock()
+					ok := stopped.Load() || commit(batch, res)
+					mu.Unlock()
+					if !ok {
+						stopped.Store(true)
+						return
+					}
+				}
+			}(live[qi], queues[qi])
+		}
+		wg.Wait()
+		if stopped.Load() {
+			return retried, nil, ErrStopped
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return retried, nil, cerr
+		}
+		tasks = next
+	}
+	return retried, failed, nil
+}
+
+// runWorkerJob executes one partition set on one worker: ships the graph
+// (once per connection) and the job, then buffers instance frames until the
+// committing frameDone. Any error — transport, deadline, in-band — means
+// the job contributed nothing and the caller retries it elsewhere.
+func (cl *Cluster) runWorkerJob(ctx context.Context, w *workerConn, graphPayload []byte, base JobRequest, t *task, distTotal int) (*JobResult, [][]graph.Node, error) {
+	req := base
+	req.DistTotal = distTotal
+	req.Owned = t.owned
+	if cl.Fault.Mode == FaultStall && cl.Fault.Worker == w.idx &&
+		cl.faultFired.CompareAndSwap(false, true) {
+		req.StallAfter = max(cl.Fault.AfterInstances, 1)
+	}
+	breakable := (cl.Fault.Mode == FaultKill || cl.Fault.Mode == FaultDrop) &&
+		(cl.Fault.Worker == w.idx || cl.Fault.Worker == -1)
+
+	if !w.graphSent {
+		if err := writeFrame(w.conn, frameGraph, graphPayload); err != nil {
+			return nil, nil, err
+		}
+		w.graphSent = true
+	}
+	payload, err := encodeGob(&req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := writeFrame(w.conn, frameJob, payload); err != nil {
+		return nil, nil, err
+	}
+
+	var instances [][]graph.Node
+	for {
+		w.conn.SetReadDeadline(time.Now().Add(cl.timeout()))
+		typ, payload, err := readFrame(w.br)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch typ {
+		case frameInstances:
+			batch, err := decodeInstances(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			instances = append(instances, batch...)
+			if breakable && int64(len(instances)) >= max(cl.Fault.AfterInstances, 1) &&
+				cl.faultFired.CompareAndSwap(false, true) {
+				// Authoritative mid-job failure: kill the worker and abort
+				// the job right here, before any later frame (a frameDone
+				// may already sit in the read buffer) could commit it. The
+				// buffered instances are discarded with the error return.
+				cl.killWorker(w.idx, cl.Fault.Mode)
+				return nil, nil, fmt.Errorf("distrib: fault injected at worker %d", w.idx)
+			}
+		case frameDone:
+			w.conn.SetReadDeadline(time.Time{})
+			var res JobResult
+			if err := decodeGob(payload, &res); err != nil {
+				return nil, nil, err
+			}
+			return &res, instances, nil
+		case frameError:
+			return nil, nil, fmt.Errorf("distrib: worker %d: %s", w.idx, payload)
+		default:
+			return nil, nil, fmt.Errorf("distrib: unexpected frame type %d from worker %d", typ, w.idx)
+		}
+	}
+}
+
+func allPartitions(n int) []int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}

@@ -1,0 +1,115 @@
+// Package distrib runs existing query plans across multiple OS processes:
+// a coordinator slices the distributed key space (mapreduce.DistFilter)
+// across workers, each worker replays the plan over the replicated graph
+// for its slices only, and the instance streams are unioned — exactly-once
+// because every strategy emits each instance at exactly one reducer key.
+//
+// The package is deliberately free of the root API: the executor a worker
+// runs is injected (the root package supplies the real strategy dispatch),
+// so distrib depends only on the internal layers below it and the root can
+// depend on distrib without a cycle.
+package distrib
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame types of the coordinator/worker wire protocol. Every message is a
+// length-prefixed frame: one type byte, a uvarint payload length, then the
+// payload. The payload serializations reuse the engine's codec idioms —
+// graphs ship as the two-uint32 big-endian edges of core's edge codec,
+// instances as uvarint node runs like the spill-run records.
+const (
+	// frameGraph carries the replicated data graph (EncodeGraph payload).
+	// Sent once per connection, before the first job.
+	frameGraph byte = 1 + iota
+	// frameJob carries a gob-encoded JobRequest (coordinator → worker).
+	frameJob
+	// frameInstances carries a batch of enumerated instances
+	// (worker → coordinator): uvarint batch count, then per instance a
+	// uvarint node count and that many uvarint node ids.
+	frameInstances
+	// frameDone carries a gob-encoded JobResult and commits the job: every
+	// instance frame since the frameJob becomes final.
+	frameDone
+	// frameError carries a textual worker-side failure; the job's instance
+	// frames are discarded.
+	frameError
+
+	frameTypeMax = frameError
+)
+
+// maxFramePayload bounds a single frame's payload. A corrupted or hostile
+// length header therefore errors instead of driving a huge allocation, and
+// readFrame additionally grows its buffer chunk-by-chunk so a truncated
+// stream never allocates more than the bytes actually present (plus one
+// chunk).
+const maxFramePayload = 1 << 26
+
+// readChunk is the allocation granularity of readFrame.
+const readChunk = 1 << 20
+
+// appendFrame appends one frame to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// writeFrame writes one frame. The payload must not exceed maxFramePayload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("distrib: frame payload %d bytes exceeds limit %d", len(payload), maxFramePayload)
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame. It validates the type byte and the length
+// header before allocating, never allocates more than one chunk beyond the
+// bytes actually read, and reports a clean io.EOF only at a frame boundary
+// (mid-frame truncation is io.ErrUnexpectedEOF).
+func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, err // io.EOF here is a clean end of stream
+	}
+	if typ < frameGraph || typ > frameTypeMax {
+		return 0, nil, fmt.Errorf("distrib: unknown frame type %d", typ)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("distrib: frame payload %d bytes exceeds limit %d", n, maxFramePayload)
+	}
+	payload := make([]byte, 0, min(int(n), readChunk))
+	for len(payload) < int(n) {
+		chunk := int(n) - len(payload)
+		if chunk > readChunk {
+			chunk = readChunk
+		}
+		start := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(br, payload[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+	}
+	return typ, payload, nil
+}

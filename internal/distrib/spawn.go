@@ -1,0 +1,170 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SpawnEnv is the environment sentinel that turns a re-exec of the current
+// binary into a worker process. Binaries that want WithDistributed(n) to
+// work must check IsSpawnedWorker early in main (or TestMain) and hand off
+// to RunSpawnedWorker — the root package's MaybeWorkerProcess does exactly
+// that with the real executor.
+const SpawnEnv = "SGMR_DISTRIB_WORKER"
+
+// readyPrefix is the line a spawned worker prints on stdout once listening.
+const readyPrefix = "SGMR_WORKER_READY "
+
+// liveSpawned counts worker processes spawned by this process that have
+// not been reaped yet — a leak check for the cancellation tests.
+var liveSpawned atomic.Int64
+
+// LiveSpawned reports the number of spawned worker processes still alive
+// (started by this process and not yet reaped).
+func LiveSpawned() int64 { return liveSpawned.Load() }
+
+// IsSpawnedWorker reports whether this process was spawned as a worker.
+func IsSpawnedWorker() bool { return os.Getenv(SpawnEnv) != "" }
+
+// RunSpawnedWorker is the child half of SpawnLocal: it listens on an
+// ephemeral loopback port, announces the address on stdout, and serves jobs
+// until its stdin closes — which happens when the parent shuts the cluster
+// down or dies, so an orphaned worker never outlives its coordinator.
+func RunSpawnedWorker(exec Executor) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s%s\n", readyPrefix, ln.Addr())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		io.Copy(io.Discard, os.Stdin)
+		cancel()
+	}()
+	err = Serve(ctx, ln, exec)
+	if ctx.Err() != nil {
+		return nil // orderly parent-initiated shutdown
+	}
+	return err
+}
+
+// spawnedWorker is the parent's handle on one worker process.
+type spawnedWorker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	done  chan struct{}
+}
+
+// kill SIGKILLs the worker process (fault injection).
+func (p *spawnedWorker) kill() {
+	p.cmd.Process.Kill()
+}
+
+// shutdown ends the process — stdin close for the orderly path, kill as
+// the backstop — and waits for the reaper so no zombie is left.
+func (p *spawnedWorker) shutdown() {
+	p.stdin.Close()
+	select {
+	case <-p.done:
+		return
+	case <-time.After(2 * time.Second):
+	}
+	p.cmd.Process.Kill()
+	<-p.done
+}
+
+// SpawnLocal starts n worker processes by re-executing the current binary
+// with the SpawnEnv sentinel and dialing each announced address. The
+// resulting cluster owns the processes: Close (and the kill fault) can
+// terminate them, and each is reaped by a watcher that keeps LiveSpawned
+// accurate.
+func SpawnLocal(ctx context.Context, n int) (*Cluster, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{}
+	fail := func(err error) (*Cluster, error) {
+		cl.Close()
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), SpawnEnv+"=1")
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(err)
+		}
+		p := &spawnedWorker{cmd: cmd, stdin: stdin, done: make(chan struct{})}
+		liveSpawned.Add(1)
+		go func() {
+			cmd.Wait()
+			liveSpawned.Add(-1)
+			close(p.done)
+		}()
+
+		addr, err := readReadyLine(ctx, stdout)
+		if err != nil {
+			p.shutdown()
+			return fail(fmt.Errorf("distrib: spawned worker %d: %w", i, err))
+		}
+		go io.Copy(io.Discard, stdout) // drain any later output
+
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			p.shutdown()
+			return fail(fmt.Errorf("distrib: dialing spawned worker %d: %w", i, err))
+		}
+		cl.conns = append(cl.conns, &workerConn{idx: len(cl.conns), conn: conn, br: bufio.NewReader(conn)})
+		cl.procs = append(cl.procs, p)
+	}
+	return cl, nil
+}
+
+// readReadyLine waits (bounded) for the worker's ready announcement.
+func readReadyLine(ctx context.Context, stdout io.Reader) (string, error) {
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	ch := make(chan lineOrErr, 1)
+	go func() {
+		br := bufio.NewReader(stdout)
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				ch <- lineOrErr{err: fmt.Errorf("worker exited before ready: %w", err)}
+				return
+			}
+			if strings.HasPrefix(line, readyPrefix) {
+				ch <- lineOrErr{line: strings.TrimSpace(strings.TrimPrefix(line, readyPrefix))}
+				return
+			}
+		}
+	}()
+	select {
+	case le := <-ch:
+		return le.line, le.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case <-time.After(20 * time.Second):
+		return "", fmt.Errorf("timed out waiting for worker ready line")
+	}
+}

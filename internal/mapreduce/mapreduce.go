@@ -170,6 +170,11 @@ type Config struct {
 	// SpillDir is the directory for spill run files; "" means the system
 	// temp dir. Only used when MemoryBudget is set.
 	SpillDir string
+	// Dist, when set, restricts the run to the owned slices of the
+	// distributed key space: mapper emissions whose key hashes outside them
+	// are dropped before they are counted, combined, or shipped, so the
+	// reported metrics describe only the owned share. See DistFilter.
+	Dist *DistFilter
 }
 
 func (c Config) workers() int {
@@ -289,6 +294,20 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 		seed := maphash.MakeSeed()
 		partition = func(k K, p int) int {
 			return int(maphash.Comparable(seed, k) % uint64(p))
+		}
+	}
+
+	// Distributed ownership: the codec is resolved once, but each map
+	// worker instantiates its own predicate (distOwns keeps a scratch
+	// buffer that must not be shared across goroutines).
+	var distCodec Codec[K, V]
+	if cfg.Dist != nil {
+		if err := cfg.Dist.validate(); err != nil {
+			return Metrics{}, err
+		}
+		distCodec = j.Codec
+		if distCodec == nil {
+			distCodec = DefaultCodec[K, V]()
 		}
 	}
 
@@ -549,6 +568,20 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 					heldValues++
 					if heldValues >= limit {
 						flushCombined()
+					}
+				}
+			}
+
+			// The ownership filter wraps the outermost emit — ahead of the
+			// combiner and the shipped count — so an unowned pair leaves no
+			// trace in the metrics and N disjoint filtered runs sum to
+			// exactly one unfiltered run's metrics.
+			if distCodec != nil {
+				owns := distOwns(cfg.Dist, distCodec)
+				inner := emit
+				emit = func(k K, v V) {
+					if owns(k) {
+						inner(k, v)
 					}
 				}
 			}

@@ -83,6 +83,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, b int, seed uint64, c
 		Name:   fmt.Sprintf("partition b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
+		Codec:  edgeTripleCodec{},
 	}, cfg, g.Edges(), b, sink)
 }
 
@@ -216,6 +217,7 @@ func MultiwayContext(ctx context.Context, g *graph.Graph, b int, seed uint64, cf
 		Name:   fmt.Sprintf("multiway shares=(%d,%d,%d)", b, b, b),
 		Map:    mapper,
 		Reduce: reducer,
+		Codec:  taggedTripleCodec{},
 	}, cfg, g.Edges(), b, sink)
 }
 
@@ -286,6 +288,7 @@ func BucketOrderedContext(ctx context.Context, g *graph.Graph, b int, seed uint6
 		Name:   fmt.Sprintf("bucket-ordered b=%d", b),
 		Map:    mapper,
 		Reduce: reducer,
+		Codec:  edgeTripleCodec{},
 	}, cfg, g.Edges(), b, sink)
 }
 

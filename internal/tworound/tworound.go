@@ -119,6 +119,15 @@ func TrianglesHookContext(ctx context.Context, g *graph.Graph, cfg mapreduce.Con
 	}
 
 	// Round 2: join the wedges with E(X,Z), keyed by the (X,Z) edge.
+	//
+	// Under a distributed ownership filter (cfg.Dist) only round 1 is
+	// filtered: each triangle has exactly one wedge whose middle is its
+	// middle node, so the workers' wedge sets are disjoint and round 2 over
+	// worker-local wedges already produces each triangle exactly once. The
+	// edge relation is broadcast (re-mapped in full by every worker) because
+	// edge markers alone emit nothing — filtering round 2's (X,Z) keys too
+	// would instead drop wedges whose closing edge hashes to another worker.
+	c.Cfg.Dist = nil
 	type kv = uint64
 	inputs := make([]any, 0, len(wedges)+g.NumEdges())
 	for _, w := range wedges {

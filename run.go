@@ -23,6 +23,15 @@ func Run(ctx context.Context, p *QueryPlan) (*Result, error) {
 	if err := checkRunnable(ctx, p); err != nil {
 		return nil, err
 	}
+	if p.opts.isDistributed() {
+		return runDistributed(ctx, p, nil)
+	}
+	return runLocalRun(ctx, p)
+}
+
+// runLocalRun is Run's in-process execution path (also the coordinator's
+// full-plan fallback when no worker is reachable).
+func runLocalRun(ctx context.Context, p *QueryPlan) (*Result, error) {
 	// The triangle algorithms and the cascade have no reducer-side counter:
 	// WithCountOnly runs them with a counting sink instead (Result.Count is
 	// Metrics.Outputs — the accepted deliveries — either way).
@@ -62,6 +71,17 @@ func Stream(ctx context.Context, p *QueryPlan, yield func([]Node) bool) (*Result
 	if yield == nil {
 		return nil, fmt.Errorf("subgraphmr: Stream requires a non-nil yield")
 	}
+	if p.opts.isDistributed() {
+		return runDistributed(ctx, p, yield)
+	}
+	return runLocalStream(ctx, p, yield)
+}
+
+// runLocalStream is Stream's in-process execution path. It is also how a
+// distributed worker executes its job (with planOpts.dist set, so every
+// strategy's engine rounds filter to the owned key-space slices) and how
+// the coordinator degrades unfinished partitions to local execution.
+func runLocalStream(ctx context.Context, p *QueryPlan, yield func([]Node) bool) (*Result, error) {
 	adapter := func(t [3]Node) bool { return yield([]Node{t[0], t[1], t[2]}) }
 	switch p.Strategy {
 	case StrategyBucketOriented, StrategyVariableOriented, StrategyCQOriented, StrategyDecomposed:
