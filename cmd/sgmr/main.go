@@ -40,6 +40,15 @@
 // worker failure (kill, drop, stall) into a distributed run so retry and
 // degradation paths can be exercised from the command line; the summary
 // line reports the retried partition count.
+//
+// Resident query service:
+//
+//	sgmr serve -load social=graph.txt -load rnd=gnm:10000:50000:7
+//
+// `sgmr serve` loads the named graphs once and answers enumeration
+// queries over HTTP (GET /query, /metrics, /graphs, /healthz) through a
+// prepared-plan cache and admission control; see the internal/serve
+// package and the flags of `sgmr serve -h`.
 package main
 
 import (
@@ -102,6 +111,10 @@ var planStrategies = map[string]subgraphmr.PlanStrategy{
 // main minus the process plumbing, so tests can drive every strategy flag
 // in-process.
 func run(args []string, out io.Writer) error {
+	// Subcommand dispatch: `sgmr serve` is the resident query service.
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], out)
+	}
 	fs := flag.NewFlagSet("sgmr", flag.ContinueOnError)
 	var (
 		sampleName = fs.String("sample", "triangle", "sample graph: triangle, square, lollipop, c3..c12, k2..k8, path2..8, star2..8, q3")

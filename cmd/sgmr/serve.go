@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"subgraphmr"
+	"subgraphmr/internal/serve"
+)
+
+// loadFlags collects repeatable -load name=spec flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+// runServe is the `sgmr serve` subcommand: load the named graphs once into
+// the shared immutable CSR and answer enumeration queries over HTTP until
+// interrupted. Queries go through the prepared-plan cache, admission
+// control and the streaming engine — see internal/serve.
+//
+//	sgmr serve -load social=graph.txt -load rnd=gnm:10000:50000:7
+//	curl 'localhost:8080/query?graph=social&sample=triangle&strategy=auto'
+//	curl 'localhost:8080/query?graph=rnd&sample=square&stream=1'
+//	curl localhost:8080/metrics
+func runServe(args []string, out io.Writer) error {
+	srv, ln, err := startServe(args, out)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		// Graceful drain: stop accepting, let in-flight queries finish (their
+		// request contexts are cancelled by Shutdown only after the timeout).
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// startServe parses the serve flags, loads the graphs and opens the
+// listener, returning the configured service ready to serve. Split from
+// runServe so tests can drive the server without signals.
+func startServe(args []string, out io.Writer) (*serve.Server, net.Listener, error) {
+	fs := flag.NewFlagSet("sgmr serve", flag.ContinueOnError)
+	var loads loadFlags
+	fs.Var(&loads, "load", "graph to serve as name=spec; spec is an edge-list file path or a generator spec gnm:n:m:seed, gnp:n:p:seed, powerlaw:n:avgdeg:seed, cycle:n, complete:n (repeatable)")
+	var (
+		listenAddr = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		poolBytes  = fs.Int64("pool", 256<<20, "admission pool: total predicted shuffle bytes running queries may hold")
+		maxQueue   = fs.Int("queue", 64, "admission queue depth; beyond it queries get 429 (negative disables queueing)")
+		cacheSize  = fs.Int("plan-cache", 128, "prepared-plan cache capacity (plans)")
+		flush      = fs.Duration("flush", 10*time.Second, "metrics aggregator flush interval")
+		bodyLimit  = fs.Int("limit", 1000, "max instances materialized into one JSON response body")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil, nil, err
+		}
+		return nil, nil, errUsage
+	}
+	if len(loads) == 0 {
+		return nil, nil, fmt.Errorf("serve: at least one -load name=spec is required")
+	}
+	graphs := make(map[string]*subgraphmr.Graph, len(loads))
+	for _, l := range loads {
+		name, spec, ok := strings.Cut(l, "=")
+		if !ok || name == "" {
+			return nil, nil, fmt.Errorf("serve: -load %q: want name=spec", l)
+		}
+		if _, dup := graphs[name]; dup {
+			return nil, nil, fmt.Errorf("serve: duplicate graph name %q", name)
+		}
+		g, err := parseGraphSpec(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: -load %s: %w", name, err)
+		}
+		graphs[name] = g
+	}
+
+	srv := serve.New(serve.Config{
+		Graphs:           graphs,
+		PoolBytes:        *poolBytes,
+		MaxQueue:         *maxQueue,
+		PlanCacheSize:    *cacheSize,
+		FlushInterval:    *flush,
+		MaxBodyInstances: *bodyLimit,
+	})
+	ln, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(graphs))
+	for name, g := range graphs {
+		names = append(names, fmt.Sprintf("%s(n=%d m=%d)", name, g.NumNodes(), g.NumEdges()))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "sgmr: serving on http://%s (graphs: %s)\n", ln.Addr(), strings.Join(names, ", "))
+	return srv, ln, nil
+}
+
+// parseGraphSpec loads one -load spec: a generator expression
+// (gnm:n:m:seed, gnp:n:p:seed, powerlaw:n:avgdeg:seed, cycle:n,
+// complete:n) or, failing that shape, an edge-list file path.
+func parseGraphSpec(spec string) (*subgraphmr.Graph, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i int) (int, error) {
+		n, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, fmt.Errorf("bad generator argument %q in %q", parts[i], spec)
+		}
+		return n, nil
+	}
+	switch parts[0] {
+	case "gnm":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("gnm spec %q: want gnm:n:m:seed", spec)
+		}
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in %q", parts[3], spec)
+		}
+		return subgraphmr.Gnm(n, m, seed), nil
+	case "gnp":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("gnp spec %q: want gnp:n:p:seed", spec)
+		}
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		p, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability %q in %q", parts[2], spec)
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in %q", parts[3], spec)
+		}
+		return subgraphmr.Gnp(n, p, seed), nil
+	case "powerlaw":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("powerlaw spec %q: want powerlaw:n:avgdeg:seed", spec)
+		}
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad avgdeg %q in %q", parts[2], spec)
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in %q", parts[3], spec)
+		}
+		return subgraphmr.PowerLaw(n, avg, 2.3, seed), nil
+	case "cycle":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("cycle spec %q: want cycle:n", spec)
+		}
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return subgraphmr.CycleGraph(n), nil
+	case "complete":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("complete spec %q: want complete:n", spec)
+		}
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return subgraphmr.CompleteGraph(n), nil
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, fmt.Errorf("opening edge-list file %q: %w", spec, err)
+	}
+	defer f.Close()
+	return subgraphmr.ReadGraph(f)
+}

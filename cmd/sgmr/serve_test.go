@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeStartAndQuery boots the serve subcommand's server on an
+// ephemeral port, queries it end to end and checks the readiness line.
+func TestServeStartAndQuery(t *testing.T) {
+	var out strings.Builder
+	srv, ln, err := startServe([]string{
+		"-listen", "127.0.0.1:0",
+		"-load", "rnd=gnm:120:500:9",
+		"-load", "ring=cycle:50",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	if !strings.Contains(out.String(), "sgmr: serving on http://127.0.0.1:") {
+		t.Fatalf("missing readiness line: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "rnd(n=120 m=500)") || !strings.Contains(out.String(), "ring(n=50 m=50)") {
+		t.Fatalf("readiness line should list the loaded graphs: %q", out.String())
+	}
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/query?graph=rnd&sample=triangle&strategy=bucket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Count int64  `json:"count"`
+		Cache string `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Cache != "miss" {
+		t.Fatalf("cache=%q", body.Cache)
+	}
+
+	// The count must match a one-shot CLI run over the same graph spec.
+	var oneShot strings.Builder
+	if err := run([]string{"-sample", "triangle", "-strategy", "bucket", "-gen", "gnm", "-n", "120", "-m", "500", "-seed", "9", "-count"}, &oneShot); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("instances counted: %d\n", body.Count)
+	if !strings.Contains(oneShot.String(), want) {
+		t.Fatalf("served count %d does not match one-shot run:\n%s", body.Count, oneShot.String())
+	}
+
+	// Repeat query: plan-cache hit.
+	resp2, err := http.Get(base + "/query?graph=rnd&sample=triangle&strategy=bucket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := resp2.Header.Get("X-Sgmr-Cache"); h != "hit" {
+		t.Fatalf("X-Sgmr-Cache=%q, want hit", h)
+	}
+	resp2.Body.Close()
+}
+
+// TestServeLoadsEdgeListFile serves a graph from a file, exercising the
+// file branch of -load.
+func TestServeLoadsEdgeListFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tri.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	srv, ln, err := startServe([]string{"-listen", "127.0.0.1:0", "-load", "tri=" + path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/query?graph=tri&sample=triangle&strategy=tri-bucket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Count != 1 {
+		t.Fatalf("count=%d, want 1 triangle", body.Count)
+	}
+}
+
+// TestServeFlagErrors pins the serve flag validation.
+func TestServeFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                        // no -load
+		{"-load", "noequals"},     // malformed
+		{"-load", "=gnm:10:20:1"}, // empty name
+		{"-load", "a=gnm:10:20:1", "-load", "a=cycle:5"}, // duplicate
+		{"-load", "a=gnm:10"},                            // wrong arity
+		{"-load", "a=gnm:x:20:1"},                        // bad int
+		{"-load", "a=/does/not/exist.txt"},               // missing file
+		{"-load", "a=cycle:banana"},                      // bad cycle arg
+	} {
+		var out strings.Builder
+		srv, ln, err := startServe(append([]string{"-listen", "127.0.0.1:0"}, args...), &out)
+		if err == nil {
+			ln.Close()
+			srv.Close()
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// TestServeSubcommandDispatch checks `sgmr serve` routes through run().
+func TestServeSubcommandDispatch(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"serve"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-load") {
+		t.Fatalf("bare `sgmr serve` should fail demanding -load, got %v", err)
+	}
+}

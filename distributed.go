@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"subgraphmr/internal/distrib"
@@ -11,6 +12,29 @@ import (
 	"subgraphmr/internal/mapreduce"
 	"subgraphmr/internal/sample"
 )
+
+// encodedGraph memoizes the distrib wire encoding of a plan's data graph,
+// so repeated distributed runs of a cached plan serialize the graph once
+// instead of once per Run. Held behind a pointer on QueryPlan: plan copies
+// share it, and the Once is never copied after first use.
+type encodedGraph struct {
+	once sync.Once
+	data []byte
+}
+
+// distGraphPayload returns the frameGraph payload for the plan's data
+// graph, encoding it on first use. Plans not built by Plan (the worker's
+// reconstructed plans have no enc) fall back to a direct encoding — they
+// never coordinate a cluster, so the memo would be dead weight.
+func (p *QueryPlan) distGraphPayload() []byte {
+	if p.enc == nil {
+		return distrib.EncodeGraph(p.graph.NumNodes(), p.graph.Edges())
+	}
+	p.enc.once.Do(func() {
+		p.enc.data = distrib.EncodeGraph(p.graph.NumNodes(), p.graph.Edges())
+	})
+	return p.enc.data
+}
 
 // Distributed execution routes Run/Stream/Instances through a
 // coordinator/worker executor (internal/distrib) with no API change: the
@@ -211,7 +235,7 @@ func runDistributed(ctx context.Context, p *QueryPlan, yield func([]Node) bool) 
 		SampleEdges:          p.sample.Edges(),
 		SampleNames:          p.sample.Names(),
 	}
-	payload := distrib.EncodeGraph(p.graph.NumNodes(), p.graph.Edges())
+	payload := p.distGraphPayload()
 
 	res := &Result{}
 	materialize := yield == nil && !p.opts.countOnly
@@ -260,6 +284,10 @@ func runDistributed(ctx context.Context, p *QueryPlan, yield func([]Node) bool) 
 		// Last-resort degradation: the partitions no worker could finish
 		// run locally under the same ownership filter — never the full
 		// plan, which would duplicate the committed instances.
+		//
+		// Copy-before-mutate: p may be executing concurrently on other
+		// goroutines (shared cached plan), so the variant configuration is
+		// written to a copy, never to p.opts in place.
 		retried += len(unfinished)
 		lp := *p
 		lp.opts.workers, lp.opts.spawnWorkers = nil, 0
@@ -282,6 +310,7 @@ func runDistributed(ctx context.Context, p *QueryPlan, yield func([]Node) bool) 
 // reached, honoring whichever mode (materializing or streaming) the caller
 // was in.
 func runLocalFallback(ctx context.Context, p *QueryPlan, yield func([]Node) bool) (*Result, error) {
+	// Copy-before-mutate, as above: never write p.opts in place.
 	lp := *p
 	lp.opts.workers, lp.opts.spawnWorkers = nil, 0
 	if yield == nil {

@@ -46,6 +46,30 @@ func trianglePlan(t *testing.T, opts ...Option) *QueryPlan {
 	return plan
 }
 
+// TestDistGraphPayloadMemoized pins the re-encoding fix: a plan's
+// distributed graph payload is serialized once and reused byte-for-byte
+// (same backing array) across runs — repeated distributed executions of a
+// cached plan no longer pay EncodeGraph each time. Plan copies share the
+// memo, and plans the worker reconstructs by hand (no enc) still encode.
+func TestDistGraphPayloadMemoized(t *testing.T) {
+	plan := trianglePlan(t)
+	a, b := plan.distGraphPayload(), plan.distGraphPayload()
+	if len(a) == 0 {
+		t.Fatal("empty payload")
+	}
+	if &a[0] != &b[0] {
+		t.Error("distGraphPayload re-encoded the graph on the second call")
+	}
+	lp := *plan
+	if c := lp.distGraphPayload(); &a[0] != &c[0] {
+		t.Error("a plan copy does not share the memoized payload")
+	}
+	bare := &QueryPlan{graph: plan.graph, sample: plan.sample}
+	if d := bare.distGraphPayload(); len(d) != len(a) {
+		t.Errorf("fallback encoding differs: %d vs %d bytes", len(d), len(a))
+	}
+}
+
 // TestDistributedRunMatchesLocal is the root-level smoke check: a spawned
 // two-worker run returns the same count as a local run, reports the
 // cluster summary, and leaves no processes or goroutines behind.

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrRejected is returned by Pool.Acquire when a query cannot be admitted:
+// the pool is exhausted and the wait queue is full. The HTTP layer maps it
+// to 429 Too Many Requests.
+var ErrRejected = errors.New("serve: admission rejected — memory pool exhausted and queue full")
+
+// Pool is the admission controller: a global budget (bytes) of predicted
+// reduce-side shuffle footprint that concurrently running queries may hold
+// between them. Each query is priced at its plan's EstShuffleBytes — the
+// same quantity the planner's PredictedSpill compares against
+// WithMemoryBudget — before it runs: if the pool has headroom it is
+// admitted immediately, otherwise it queues (FIFO, bounded) until running
+// queries release enough, and when the queue is full it is rejected with
+// ErrRejected so the caller can answer 429 instead of letting admitted
+// work thrash.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int64
+	avail    int64
+	queue    []*waiter
+	maxQueue int
+
+	admitted int64
+	rejected int64
+}
+
+type waiter struct {
+	cost  int64
+	ready chan struct{} // closed by grant; the grant transfers the budget
+}
+
+// NewPool returns a pool of the given capacity in bytes (min 1) allowing
+// up to maxQueue queued queries (0 = reject as soon as the pool is
+// exhausted).
+func NewPool(capacity int64, maxQueue int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Pool{capacity: capacity, avail: capacity, maxQueue: maxQueue}
+}
+
+// Acquire admits a query costing cost bytes, blocking in the FIFO queue if
+// the pool is currently exhausted. It returns a release function the
+// caller must invoke when the query finishes (any exit path), or an error:
+// ErrRejected when the queue is full, or ctx.Err() when the caller gave up
+// (client disconnect) while queued. A cost larger than the whole pool is
+// clamped to the capacity, so an oversized query still runs — alone, once
+// the pool fully drains — rather than deadlocking or being unservable.
+func (p *Pool) Acquire(ctx context.Context, cost int64) (release func(), err error) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > p.capacity {
+		cost = p.capacity
+	}
+	p.mu.Lock()
+	if len(p.queue) == 0 && p.avail >= cost {
+		p.avail -= cost
+		p.admitted++
+		p.mu.Unlock()
+		return p.releaseFunc(cost), nil
+	}
+	if len(p.queue) >= p.maxQueue {
+		p.rejected++
+		p.mu.Unlock()
+		return nil, ErrRejected
+	}
+	w := &waiter{cost: cost, ready: make(chan struct{})}
+	p.queue = append(p.queue, w)
+	p.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return p.releaseFunc(cost), nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		for i, q := range p.queue {
+			if q == w {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				p.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		p.mu.Unlock()
+		// Lost the race: the grant already transferred the budget to us, so
+		// hand it straight back (waking the next waiter) before reporting
+		// the cancellation.
+		<-w.ready
+		p.releaseFunc(cost)()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent release closure for an admitted cost.
+func (p *Pool) releaseFunc(cost int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.avail += cost
+			p.grantLocked()
+			p.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked wakes queued waiters in FIFO order while the pool covers
+// them. Strict FIFO — a large query at the head is not overtaken by small
+// ones behind it, so it cannot starve.
+func (p *Pool) grantLocked() {
+	for len(p.queue) > 0 && p.avail >= p.queue[0].cost {
+		w := p.queue[0]
+		p.queue = p.queue[1:]
+		p.avail -= w.cost
+		p.admitted++
+		close(w.ready)
+	}
+}
+
+// QueueDepth reports the current number of queued queries (a gauge).
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Available reports the pool's current headroom in bytes (a gauge).
+func (p *Pool) Available() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.avail
+}
+
+// Capacity reports the configured pool size in bytes.
+func (p *Pool) Capacity() int64 { return p.capacity }
+
+// Admitted reports the cumulative number of admitted queries.
+func (p *Pool) Admitted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.admitted
+}
+
+// Rejected reports the cumulative number of rejected (429) queries.
+func (p *Pool) Rejected() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rejected
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolImmediateAdmit(t *testing.T) {
+	p := NewPool(100, 4)
+	r1, err := p.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 40 {
+		t.Fatalf("available=%d", p.Available())
+	}
+	r2, err := p.Acquire(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	if p.Available() != 100 {
+		t.Fatalf("available=%d after release, want 100", p.Available())
+	}
+	if p.Admitted() != 2 || p.Rejected() != 0 {
+		t.Fatalf("admitted=%d rejected=%d", p.Admitted(), p.Rejected())
+	}
+}
+
+func TestPoolRejectsWhenQueueFull(t *testing.T) {
+	p := NewPool(10, 0)
+	release, err := p.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Acquire(context.Background(), 1); err != ErrRejected {
+		t.Fatalf("err=%v, want ErrRejected", err)
+	}
+	if p.Rejected() != 1 {
+		t.Fatalf("rejected=%d", p.Rejected())
+	}
+	release()
+	if r, err := p.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	} else {
+		r()
+	}
+}
+
+func TestPoolFIFOAndNoOvertake(t *testing.T) {
+	p := NewPool(10, 8)
+	r6, _ := p.Acquire(context.Background(), 6)
+	r4, _ := p.Acquire(context.Background(), 4)
+
+	var wg sync.WaitGroup
+	acquire := func(id int, cost int64) {
+		defer wg.Done()
+		r, err := p.Acquire(context.Background(), cost)
+		if err != nil {
+			t.Errorf("waiter %d: %v", id, err)
+			return
+		}
+		r()
+	}
+	// Head waiter is large; the small one behind must NOT overtake it.
+	wg.Add(2)
+	go acquire(1, 8)
+	waitFor(t, func() bool { return p.QueueDepth() == 1 })
+	go acquire(2, 1)
+	waitFor(t, func() bool { return p.QueueDepth() == 2 })
+
+	// Freeing 4 bytes covers the small waiter but not the FIFO head —
+	// strict FIFO means NEITHER proceeds (no overtaking, no starvation of
+	// the large query).
+	r4()
+	time.Sleep(20 * time.Millisecond)
+	if d := p.QueueDepth(); d != 2 {
+		t.Fatalf("queue depth %d after partial release, want 2 (small waiter must not overtake the head)", d)
+	}
+	// Freeing the rest covers the head (8), then the small waiter (1).
+	r6()
+	wg.Wait()
+	waitFor(t, func() bool { return p.Available() == 10 })
+	if p.Admitted() != 4 {
+		t.Fatalf("admitted=%d, want 4", p.Admitted())
+	}
+}
+
+func TestPoolCancelWhileQueued(t *testing.T) {
+	p := NewPool(5, 4)
+	release, _ := p.Acquire(context.Background(), 5)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(ctx, 1)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return p.QueueDepth() == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if p.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after cancel", p.QueueDepth())
+	}
+	// The pool must be fully intact after the cancelled waiter left.
+	release()
+	if p.Available() != 5 {
+		t.Fatalf("available=%d, want 5", p.Available())
+	}
+}
+
+func TestPoolClampsOversizedCost(t *testing.T) {
+	p := NewPool(100, 4)
+	// An oversized query is clamped to the full capacity: it runs, alone.
+	r, err := p.Acquire(context.Background(), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 0 {
+		t.Fatalf("available=%d, want 0 (clamped to capacity)", p.Available())
+	}
+	r()
+	if p.Available() != 100 {
+		t.Fatalf("available=%d after release", p.Available())
+	}
+	// Zero/negative costs count as 1 byte.
+	r2, err := p.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 99 {
+		t.Fatalf("available=%d, want 99", p.Available())
+	}
+	r2()
+}
+
+func TestPoolReleaseIdempotent(t *testing.T) {
+	p := NewPool(10, 0)
+	r, err := p.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	r()
+	r()
+	if p.Available() != 10 {
+		t.Fatalf("double release corrupted the pool: available=%d", p.Available())
+	}
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := NewPool(50, 100)
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(cost int64) {
+			defer wg.Done()
+			r, err := p.Acquire(context.Background(), cost)
+			if err != nil {
+				t.Errorf("churn acquire: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			r()
+		}(int64(1 + i%17))
+	}
+	wg.Wait()
+	if p.Available() != 50 {
+		t.Fatalf("pool leaked: available=%d, want 50", p.Available())
+	}
+	if p.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after churn", p.QueueDepth())
+	}
+}

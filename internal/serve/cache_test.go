@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"subgraphmr"
+)
+
+func trianglePlan(t testing.TB) *subgraphmr.QueryPlan {
+	t.Helper()
+	plan, err := subgraphmr.Plan(subgraphmr.Gnm(50, 120, 1), subgraphmr.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestPlanCacheHitMissEvict(t *testing.T) {
+	c := NewPlanCache(2)
+	plan := trianglePlan(t)
+	build := func() (*subgraphmr.QueryPlan, error) { return plan, nil }
+
+	if _, cached, _ := c.Get("a", build); cached {
+		t.Fatal("first Get reported a hit")
+	}
+	got, cached, err := c.Get("a", build)
+	if err != nil || !cached || got != plan {
+		t.Fatalf("second Get: plan=%p cached=%v err=%v", got, cached, err)
+	}
+	c.Get("b", build)
+	c.Get("c", build) // evicts "a" (LRU)
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+	if _, cached, _ := c.Get("a", build); cached {
+		t.Fatal("evicted key still reported a hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 4 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestPlanCacheLRUTouchOnHit(t *testing.T) {
+	c := NewPlanCache(2)
+	plan := trianglePlan(t)
+	build := func() (*subgraphmr.QueryPlan, error) { return plan, nil }
+	c.Get("a", build)
+	c.Get("b", build)
+	c.Get("a", build) // touch: "b" is now LRU
+	c.Get("c", build) // must evict "b", not "a"
+	if _, cached, _ := c.Get("a", build); !cached {
+		t.Fatal("recently-used key was evicted")
+	}
+	if _, cached, _ := c.Get("b", build); cached {
+		t.Fatal("LRU key survived eviction")
+	}
+}
+
+func TestPlanCacheErrorsNotCached(t *testing.T) {
+	c := NewPlanCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (*subgraphmr.QueryPlan, error) { calls++; return nil, boom }
+	if _, _, err := c.Get("k", fail); err != boom {
+		t.Fatalf("err=%v", err)
+	}
+	if _, cached, err := c.Get("k", fail); err != boom || cached {
+		t.Fatalf("err=%v cached=%v", err, cached)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len=%d after failed builds", c.Len())
+	}
+}
+
+// TestPlanCacheCoalescesConcurrentMisses: a thundering herd on one key
+// plans exactly once.
+func TestPlanCacheCoalescesConcurrentMisses(t *testing.T) {
+	c := NewPlanCache(4)
+	plan := trianglePlan(t)
+	var mu sync.Mutex
+	builds := 0
+	gate := make(chan struct{})
+	build := func() (*subgraphmr.QueryPlan, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		<-gate // hold the build so the herd piles up
+		return plan, nil
+	}
+
+	const herd = 16
+	var wg sync.WaitGroup
+	results := make([]*subgraphmr.QueryPlan, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.Get("hot", build)
+			if err != nil {
+				t.Errorf("herd %d: %v", i, err)
+			}
+			results[i] = p
+		}(i)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return builds == 1
+	})
+	close(gate)
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	for i, p := range results {
+		if p != plan {
+			t.Fatalf("herd %d got %p, want the shared plan", i, p)
+		}
+	}
+	if c.Misses() != 1 {
+		t.Fatalf("misses=%d, want 1", c.Misses())
+	}
+}

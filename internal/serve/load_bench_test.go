@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"subgraphmr"
+)
+
+// loadQuery is one entry of the benchmark's query mix: the HTTP parameters
+// and the equivalent direct Plan options (kept in lockstep so the one-shot
+// oracle prices and executes exactly what the server does).
+type loadQuery struct {
+	graph  string
+	params string // sample+strategy query-string fragment
+	sample *subgraphmr.Sample
+	opts   []subgraphmr.Option
+}
+
+// BenchmarkServeLoad is the PR's acceptance load test: ≥100 concurrent
+// mixed queries against one resident server with a deliberately
+// constrained admission pool. Every query's count must be bit-identical
+// to a one-shot Plan+Run, the plan cache must take hits, and the pool
+// must reject (429 → retry) at least once. Reported metrics: qps,
+// p50/p99 latency, cache hit rate, admission rejections.
+func BenchmarkServeLoad(b *testing.B) {
+	graphs := map[string]*subgraphmr.Graph{
+		"gnm": subgraphmr.Gnm(300, 1500, 9),
+		"k25": subgraphmr.CompleteGraph(25),
+	}
+	mix := []loadQuery{
+		{"gnm", "sample=triangle&strategy=bucket&k=64", subgraphmr.Triangle(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyBucketOriented), subgraphmr.WithTargetReducers(64)}},
+		{"gnm", "sample=triangle&strategy=tri-bucket", subgraphmr.Triangle(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyTriangleBucketOrdered)}},
+		{"gnm", "sample=triangle&strategy=cascade", subgraphmr.Triangle(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyTwoRound)}},
+		{"gnm", "sample=triangle&strategy=variable", subgraphmr.Triangle(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyVariableOriented)}},
+		{"gnm", "sample=square&strategy=bucket&k=64", subgraphmr.Square(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyBucketOriented), subgraphmr.WithTargetReducers(64)}},
+		{"gnm", "sample=square&strategy=cq", subgraphmr.Square(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyCQOriented)}},
+		{"gnm", "sample=lollipop&strategy=bucket&k=64", subgraphmr.Lollipop(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyBucketOriented), subgraphmr.WithTargetReducers(64)}},
+		{"k25", "sample=triangle&strategy=tri-bucket", subgraphmr.Triangle(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyTriangleBucketOrdered)}},
+		{"k25", "sample=triangle&strategy=bucket&k=64", subgraphmr.Triangle(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyBucketOriented), subgraphmr.WithTargetReducers(64)}},
+		{"k25", "sample=square&strategy=variable", subgraphmr.Square(),
+			[]subgraphmr.Option{subgraphmr.WithStrategy(subgraphmr.StrategyVariableOriented)}},
+	}
+
+	// One-shot oracle, and the plans' admission prices — the pool is sized
+	// to roughly three median queries so a 120-wide wave must overflow the
+	// queue and reject.
+	oracle := make([]int64, len(mix))
+	costs := make([]int64, 0, len(mix))
+	for i, q := range mix {
+		plan, err := subgraphmr.Plan(graphs[q.graph], q.sample, q.opts...)
+		if err != nil {
+			b.Fatalf("oracle plan %d: %v", i, err)
+		}
+		res, err := subgraphmr.Run(context.Background(), plan)
+		if err != nil {
+			b.Fatalf("oracle run %d: %v", i, err)
+		}
+		oracle[i] = res.Count
+		costs = append(costs, plan.Chosen.EstShuffleBytes)
+	}
+	sort.Slice(costs, func(i, j int) bool { return costs[i] < costs[j] })
+	pool := 3 * costs[len(costs)/2]
+
+	// Queue depth 32 against a 120-wide wave: most waiters park in the
+	// admission FIFO, the overflow (~90 on the first burst) is rejected
+	// and retries — both admission behaviors exercised under load.
+	s := New(Config{Graphs: graphs, PoolBytes: pool, MaxQueue: 32})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	const concurrency = 120 // concurrent queries per wave (acceptance floor: 100)
+	var rejections int64
+	var latencies []time.Duration
+	var mu sync.Mutex
+
+	b.ResetTimer()
+	start := time.Now()
+	for iter := 0; iter < b.N; iter++ {
+		var wg sync.WaitGroup
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				q := mix[w%len(mix)]
+				url := fmt.Sprintf("%s/query?graph=%s&%s", ts.URL, q.graph, q.params)
+				var retries int64
+				qStart := time.Now()
+				for {
+					resp, err := client.Get(url)
+					if err != nil {
+						b.Errorf("query %d: %v", w, err)
+						return
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						resp.Body.Close()
+						retries++
+						time.Sleep(time.Duration(1+w%5) * time.Millisecond)
+						continue
+					}
+					var body queryResponse
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil {
+						b.Errorf("query %d: decode: %v", w, err)
+						return
+					}
+					if body.Count != oracle[w%len(mix)] {
+						b.Errorf("query %d (%s %s): served %d, one-shot %d",
+							w, q.graph, q.params, body.Count, oracle[w%len(mix)])
+					}
+					break
+				}
+				mu.Lock()
+				rejections += retries
+				latencies = append(latencies, time.Since(qStart))
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if s.cache.HitRate() <= 0 {
+		b.Fatalf("plan-cache hit rate %.2f, want > 0", s.cache.HitRate())
+	}
+	if s.pool.Rejected() < 1 {
+		b.Fatalf("admission rejections %d, want ≥ 1 under the constrained pool", s.pool.Rejected())
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx].Microseconds()) / 1000
+	}
+	total := float64(len(latencies))
+	b.ReportMetric(total/elapsed.Seconds(), "qps")
+	b.ReportMetric(pct(0.50), "p50_ms")
+	b.ReportMetric(pct(0.99), "p99_ms")
+	b.ReportMetric(s.cache.HitRate(), "cache_hit_rate")
+	b.ReportMetric(float64(s.pool.Rejected()), "rejections")
+	b.ReportMetric(float64(concurrency), "concurrency")
+}

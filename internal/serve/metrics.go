@@ -1,0 +1,194 @@
+// Package serve is the resident query service behind `sgmr serve`: graphs
+// are loaded once into the shared immutable CSR, an HTTP endpoint plans
+// and streams queries through the Plan/Run/Instances API with per-request
+// cancellation, a prepared-plan cache keyed by subgraphmr.QueryKey skips
+// planning for repeated patterns, admission control prices each query's
+// predicted shuffle footprint against a global memory pool, and a
+// statsd-style aggregator exports the engine's Metrics.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stats is a flush-interval metrics aggregator in the statsd
+// BufferedCounts mold: hot-path Count/Observe calls append deltas to a
+// small buffered map under a short lock, and a background flusher folds
+// the buffer into the cumulative totals every interval — so the request
+// path never contends with readers rendering the full catalog, and a
+// burst of increments to one counter costs one map slot, not one line per
+// event. Gauges are registered callbacks sampled at render time (queue
+// depth, pool headroom, cache size are owned by their subsystems; copying
+// them into Stats would just go stale).
+type Stats struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	buf     map[string]float64 // deltas since the last flush
+	bufT    map[string]*timing // timing deltas since the last flush
+	totals  map[string]float64 // flushed cumulative counters
+	timings map[string]*timing // flushed cumulative timings
+
+	gaugeMu sync.Mutex
+	gauges  map[string]func() float64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// timing aggregates observations of one duration/value series.
+type timing struct {
+	count int64
+	sum   float64
+	max   float64
+}
+
+func (t *timing) observe(v float64) {
+	t.count++
+	t.sum += v
+	if v > t.max {
+		t.max = v
+	}
+}
+
+func (t *timing) fold(d *timing) {
+	t.count += d.count
+	t.sum += d.sum
+	if d.max > t.max {
+		t.max = d.max
+	}
+}
+
+// NewStats returns a running aggregator flushing every interval
+// (default 10s). Close stops the flusher.
+func NewStats(interval time.Duration) *Stats {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s := &Stats{
+		interval: interval,
+		buf:      make(map[string]float64),
+		bufT:     make(map[string]*timing),
+		totals:   make(map[string]float64),
+		timings:  make(map[string]*timing),
+		gauges:   make(map[string]func() float64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.flusher()
+	return s
+}
+
+func (s *Stats) flusher() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.Flush()
+		case <-s.stop:
+			s.Flush()
+			return
+		}
+	}
+}
+
+// Close flushes once more and stops the background flusher.
+func (s *Stats) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// Count buffers a counter increment; it reaches the totals at the next
+// flush.
+func (s *Stats) Count(name string, delta float64) {
+	s.mu.Lock()
+	s.buf[name] += delta
+	s.mu.Unlock()
+}
+
+// Observe buffers one timing/value observation (e.g. a query latency in
+// milliseconds, a job's observed skew).
+func (s *Stats) Observe(name string, v float64) {
+	s.mu.Lock()
+	t := s.bufT[name]
+	if t == nil {
+		t = &timing{}
+		s.bufT[name] = t
+	}
+	t.observe(v)
+	s.mu.Unlock()
+}
+
+// Gauge registers (or replaces) a live gauge callback sampled at render
+// time.
+func (s *Stats) Gauge(name string, fn func() float64) {
+	s.gaugeMu.Lock()
+	s.gauges[name] = fn
+	s.gaugeMu.Unlock()
+}
+
+// Flush folds the buffered deltas into the cumulative totals. The
+// background flusher calls it every interval; tests and the /metrics
+// handler call it for an up-to-date read.
+func (s *Stats) Flush() {
+	s.mu.Lock()
+	for name, d := range s.buf {
+		s.totals[name] += d
+		delete(s.buf, name)
+	}
+	for name, d := range s.bufT {
+		t := s.timings[name]
+		if t == nil {
+			t = &timing{}
+			s.timings[name] = t
+		}
+		t.fold(d)
+		delete(s.bufT, name)
+	}
+	s.mu.Unlock()
+}
+
+// Total returns a flushed counter's cumulative value (0 if never
+// incremented).
+func (s *Stats) Total(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals[name]
+}
+
+// Render writes the whole catalog as sorted "name value" lines — counters
+// first, then per-timing count/mean/max lines, then gauges. This is the
+// /metrics wire format: trivially scrapable, statsd/graphite-shaped.
+func (s *Stats) Render() string {
+	s.Flush()
+	lines := make([]string, 0, 32)
+	s.mu.Lock()
+	for name, v := range s.totals {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, t := range s.timings {
+		lines = append(lines, fmt.Sprintf("%s.count %d", name, t.count))
+		if t.count > 0 {
+			lines = append(lines, fmt.Sprintf("%s.mean %.3f", name, t.sum/float64(t.count)))
+		}
+		lines = append(lines, fmt.Sprintf("%s.max %.3f", name, t.max))
+	}
+	s.mu.Unlock()
+	s.gaugeMu.Lock()
+	for name, fn := range s.gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, fn()))
+	}
+	s.gaugeMu.Unlock()
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

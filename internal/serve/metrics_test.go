@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatsCountFlushTotal(t *testing.T) {
+	s := NewStats(time.Hour) // flusher effectively off; flush by hand
+	defer s.Close()
+	s.Count("q", 1)
+	s.Count("q", 2)
+	if got := s.Total("q"); got != 0 {
+		t.Fatalf("buffered counts leaked into totals before flush: %v", got)
+	}
+	s.Flush()
+	if got := s.Total("q"); got != 3 {
+		t.Fatalf("total=%v, want 3", got)
+	}
+	s.Count("q", 4)
+	s.Flush()
+	if got := s.Total("q"); got != 7 {
+		t.Fatalf("totals must accumulate across flushes: %v", got)
+	}
+}
+
+func TestStatsObserveRender(t *testing.T) {
+	s := NewStats(time.Hour)
+	defer s.Close()
+	s.Observe("lat", 10)
+	s.Observe("lat", 30)
+	s.Flush()
+	s.Observe("lat", 20) // folds at Render's implicit flush
+	s.Count("hits", 2)
+	s.Gauge("depth", func() float64 { return 5 })
+	out := s.Render()
+	for _, want := range []string{
+		"lat.count 3",
+		"lat.mean 20.000",
+		"lat.max 30.000",
+		"hits 2",
+		"depth 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted lines.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("render not sorted: %q > %q", lines[i-1], lines[i])
+		}
+	}
+}
+
+func TestStatsBackgroundFlusher(t *testing.T) {
+	s := NewStats(5 * time.Millisecond)
+	defer s.Close()
+	s.Count("bg", 1)
+	waitFor(t, func() bool { return s.Total("bg") == 1 })
+}
+
+func TestStatsCloseFlushes(t *testing.T) {
+	s := NewStats(time.Hour)
+	s.Count("final", 1)
+	s.Close()
+	if got := s.Total("final"); got != 1 {
+		t.Fatalf("Close did not flush: %v", got)
+	}
+}

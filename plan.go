@@ -66,6 +66,18 @@ type Candidate struct {
 // strategy plus its predicted shape and cost, and every candidate the
 // planner compared. Execute it with Run (materialized), Stream (callback),
 // or Instances (iterator).
+//
+// A *QueryPlan is safe for concurrent execution: any number of goroutines
+// may call Run, Stream and Instances on the same plan simultaneously (the
+// plan-cache use case — internal/serve shares one cached plan across all
+// concurrent requests for the same query). The guarantee holds because
+// after Plan returns, every field — opts included — is treated as
+// immutable by every execution path: each Run constructs its own jobs,
+// sinks and engine state, and any path that needs a variant configuration
+// (the distributed degradation ladder, the local fallback) copies the plan
+// first (lp := *p) and mutates only the copy. That copy-before-mutate rule
+// is the invariant new execution paths must keep; TestSharedPlanConcurrentExecution
+// pins it under the race detector.
 type QueryPlan struct {
 	// Strategy is the chosen strategy (never StrategyAuto).
 	Strategy PlanStrategy
@@ -97,7 +109,16 @@ type QueryPlan struct {
 
 	graph  *Graph
 	sample *Sample
-	opts   planOpts
+	// opts is frozen once Plan returns: execution paths read it but never
+	// write it (see the concurrency note on QueryPlan — variants copy the
+	// plan first). Keeping it a value, not a pointer, makes lp := *p a
+	// deep-enough copy: the only reference fields (workers, dist) are
+	// replaced wholesale by the paths that touch them, never appended to.
+	opts planOpts
+	// enc memoizes the distributed wire encoding of the data graph. It is
+	// a pointer so plan copies (lp := *p) share the one payload and so the
+	// sync.Once inside is never copied after use.
+	enc *encodedGraph
 }
 
 // planPairOverhead approximates the per-pair heap footprint of the reduce
@@ -197,6 +218,7 @@ func Plan(g *Graph, s *Sample, opts ...Option) (*QueryPlan, error) {
 		graph:        g,
 		sample:       s,
 		opts:         o,
+		enc:          &encodedGraph{},
 	}
 	if o.adaptive {
 		plan.Adaptive = true

@@ -1,0 +1,111 @@
+package subgraphmr
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestQueryKeyCoversPlanOpts is the aliasing guard: every planOpts field
+// must have an explicit cache-key decision — encoded by QueryKey (listed
+// in queryKeyIncludedFields) or exempted with a reason
+// (queryKeyExemptFields). Adding an option without deciding fails here,
+// so a new knob can never silently alias plan-cache entries.
+func TestQueryKeyCoversPlanOpts(t *testing.T) {
+	typ := reflect.TypeOf(planOpts{})
+	included := make(map[string]bool, len(queryKeyIncludedFields))
+	for _, f := range queryKeyIncludedFields {
+		included[f] = true
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		seen[name] = true
+		_, exempt := queryKeyExemptFields[name]
+		switch {
+		case included[name] && exempt:
+			t.Errorf("planOpts.%s is both included in and exempted from QueryKey — pick one", name)
+		case !included[name] && !exempt:
+			t.Errorf("planOpts.%s has no cache-key decision: add it to QueryKey + queryKeyIncludedFields, or exempt it in queryKeyExemptFields with the reason", name)
+		}
+	}
+	// No stale decisions for fields that no longer exist.
+	for _, f := range queryKeyIncludedFields {
+		if !seen[f] {
+			t.Errorf("queryKeyIncludedFields lists %q, which is not a planOpts field", f)
+		}
+	}
+	for f := range queryKeyExemptFields {
+		if !seen[f] {
+			t.Errorf("queryKeyExemptFields lists %q, which is not a planOpts field", f)
+		}
+	}
+}
+
+// TestQueryKeySensitivity drives every included field through a
+// perturbation and asserts the key changes — proving the fields declared
+// included really reach the key (the decision list cannot drift from the
+// implementation).
+func TestQueryKeySensitivity(t *testing.T) {
+	s := Triangle()
+	base := QueryKey("g1", s)
+	perturb := map[string][]Option{
+		"strategy":       {WithStrategy(StrategyTriangleMultiway)},
+		"targetReducers": {WithTargetReducers(7)},
+		"buckets":        {WithBuckets(5)},
+		"cycleCQs":       {WithCycleCQs()},
+		"countOnly":      {WithCountOnly()},
+		"seed":           {WithSeed(99)},
+		"parallelism":    {WithParallelism(2)},
+		"partitions":     {WithPartitions(3)},
+		"memoryBudget":   {WithMemoryBudget(4096)},
+		"spillDir":       {WithSpillDir("/tmp/elsewhere")},
+		"adaptive":       {WithAdaptive()},
+		"skewThreshold":  {WithSkewThreshold(2.5)},
+		"workers":        {WithWorkers([]string{"127.0.0.1:1"})},
+		"spawnWorkers":   {WithDistributed(2)},
+		"workerTimeout":  {WithWorkerTimeout(time.Second)},
+		"fault":          {WithFaultInjection(FaultSpec{Mode: FaultDrop, Worker: 1})},
+	}
+	for _, field := range queryKeyIncludedFields {
+		opts, ok := perturb[field]
+		if !ok {
+			t.Errorf("no perturbation registered for included field %q — register one so its key segment is verified", field)
+			continue
+		}
+		if got := QueryKey("g1", s, opts...); got == base {
+			t.Errorf("perturbing %s did not change the key %q", field, base)
+		}
+	}
+
+	// Graph identity and sample structure are part of the key too.
+	if QueryKey("g2", s) == base {
+		t.Error("graph id not keyed")
+	}
+	if QueryKey("g1", Square()) == base {
+		t.Error("sample structure not keyed")
+	}
+	// Variable names are documented as excluded: same structure, same key.
+	named, err := NewSample(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if QueryKey("g1", named) != base {
+		t.Error("sample variable names leaked into the key")
+	}
+}
+
+// TestQueryKeyNormalizesDefaultReducers mirrors Plan's k<=0 fallback: an
+// explicit default budget and an unset one must share a cache entry.
+func TestQueryKeyNormalizesDefaultReducers(t *testing.T) {
+	s := Triangle()
+	if QueryKey("g", s) != QueryKey("g", s, WithTargetReducers(0)) {
+		t.Error("k=0 and unset diverge")
+	}
+	if QueryKey("g", s) != QueryKey("g", s, WithTargetReducers(defaultTargetReducers)) {
+		t.Error("k=default and unset diverge")
+	}
+	if QueryKey("g", s) == QueryKey("g", s, WithTargetReducers(defaultTargetReducers+1)) {
+		t.Error("non-default k did not change the key")
+	}
+}

@@ -12,6 +12,8 @@
 #                                             # compare a new run against the
 #                                             # committed baseline (embeds
 #                                             # speedup_ns per benchmark)
+#   PKG=./internal/serve FILTER=BenchmarkServeLoad BASELINE= \
+#     OUT=BENCH_PR7.json ./scripts/bench.sh   # the serve load benchmark
 #
 # The filter includes the skewed-graph adaptive benchmark (static vs
 # adaptive maxload and ns/op) so BENCH_PR5.json tracks the skew win.
@@ -19,6 +21,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
+PKG="${PKG:-.}"
 OUT="${OUT:-BENCH_PR5.json}"
 FILTER="${FILTER:-BenchmarkEnumerateStrategies|BenchmarkFig2TriangleConcrete|BenchmarkMapReduceEngine|BenchmarkAdaptiveSkewedGraph}"
 NOTE="${NOTE:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
@@ -31,7 +34,7 @@ trap 'rm -f "$TMP"' EXIT
 
 # No pipeline here: under plain POSIX sh a `go test | tee` would take tee's
 # exit status and mask benchmark failures from set -e.
-go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count 1 . > "$TMP"
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count 1 "$PKG" > "$TMP"
 cat "$TMP"
 
 # Write to a temp file and move into place, so OUT may name the same file
