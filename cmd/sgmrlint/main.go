@@ -1,0 +1,115 @@
+// Command sgmrlint is the project's invariant checker: a static-analysis
+// suite that mechanizes the rules the engine's correctness rests on
+// (QueryPlan immutability, deterministic encodings, ctx threading, the
+// cooperative stop contract). See internal/lint for the analyzers and
+// docs/ARCHITECTURE.md for the rationale behind each rule.
+//
+// It runs two ways:
+//
+//	sgmrlint [packages]           # standalone, e.g. sgmrlint ./...
+//	go vet -vettool=$(which sgmrlint) ./...
+//
+// The vettool form speaks cmd/go's unitchecker protocol (-V=full, -flags,
+// one .cfg per package), so findings come out with go vet's caching and
+// per-package scheduling. Both forms exit 1 when there are findings and
+// print them as file:line:col: message (analyzer).
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"subgraphmr/internal/lint"
+	"subgraphmr/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 {
+		switch arg := args[0]; {
+		case arg == "-V=full":
+			return printVersion(stdout, stderr)
+		case arg == "-V":
+			fmt.Fprintln(stdout, "sgmrlint version devel")
+			return 0
+		case arg == "-flags":
+			// No tool-specific flags; cmd/go wants the JSON list anyway.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case arg == "help" || arg == "-h" || arg == "-help" || arg == "--help":
+			usage(stdout)
+			return 0
+		case strings.HasSuffix(arg, ".cfg"):
+			return runUnit(arg, stderr)
+		}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "sgmrlint:", err)
+		return 2
+	}
+	diags, err := driver.Standalone(cwd, args...)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgmrlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runUnit(cfgFile string, stderr io.Writer) int {
+	diags, err := driver.RunUnit(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgmrlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion emits the exact version banner cmd/go's -vettool handshake
+// parses: "<executable> version devel ... buildID=<content hash>". The
+// hash makes go vet's result cache invalidate when the tool changes.
+func printVersion(stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(stderr, "sgmrlint:", err)
+		return 2
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgmrlint:", err)
+		return 2
+	}
+	sum := sha256.Sum256(data)
+	fmt.Fprintf(stdout, "%s version devel comments-go-here buildID=%x\n", exe, sum)
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "sgmrlint checks subgraphmr's engine invariants.")
+	fmt.Fprintln(w, "\nUsage:\n\n\tsgmrlint [packages]\t\te.g. sgmrlint ./...")
+	fmt.Fprintln(w, "\tgo vet -vettool=$(command -v sgmrlint) [packages]")
+	fmt.Fprintln(w, "\nAnalyzers:")
+	for _, a := range lint.All() {
+		fmt.Fprintf(w, "\n%s:\n\t%s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(w, "\nSuppress a finding with a reason on the flagged line (or the line above):")
+	fmt.Fprintln(w, "\n\t//lint:allow <analyzer> <why this is sound>")
+}

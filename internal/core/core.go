@@ -212,6 +212,7 @@ func (r *Result) TotalReducerWork() int64 {
 // only see edges, so an isolated sample node could bind to nodes the
 // reducer never receives).
 func Enumerate(g *graph.Graph, s *sample.Sample, opt Options) (*Result, error) {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use EnumerateContext
 	return EnumerateContext(context.Background(), g, s, opt)
 }
 

@@ -24,6 +24,7 @@ import (
 // The sample must be connected: every node of an instance is then incident
 // to an instance edge, all of which reach the owning reducer.
 func EnumerateDecomposed(g *graph.Graph, s *sample.Sample, parts []sample.Part, opt Options) (*Result, error) {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use EnumerateDecomposedContext
 	return EnumerateDecomposedContext(context.Background(), g, s, parts, opt)
 }
 

@@ -38,6 +38,7 @@ func CheckAdaptiveParity(g *graph.Graph, s *sample.Sample, st subgraphmr.PlanStr
 		if err != nil {
 			return nil, mapreduce.Metrics{}, nil, err
 		}
+		//lint:allow ctxhygiene difftest harness drives complete runs; there is no caller cancellation to thread
 		res, err := subgraphmr.Run(context.Background(), plan)
 		if err != nil {
 			return nil, mapreduce.Metrics{}, nil, err

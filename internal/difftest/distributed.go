@@ -49,6 +49,7 @@ type DistributedConfig struct {
 // (e.g. that a tiny memory budget really spilled on the workers).
 func CheckDistributedParity(g *graph.Graph, s *sample.Sample, st subgraphmr.PlanStrategy, seed uint64, cfg DistributedConfig) (mapreduce.Metrics, error) {
 	label := fmt.Sprintf("distparity/%v/%v", st, s)
+	//lint:allow ctxhygiene difftest harness drives complete runs; there is no caller cancellation to thread
 	ctx := context.Background()
 
 	// TargetReducers 64 matches the rest of the harness (the default 1024

@@ -60,6 +60,7 @@ type Result struct {
 // by the reducer owning its bucket multiset, in canonical (automorphism-
 // least) form.
 func Enumerate(g *DiGraph, pt *DiPattern, opt Options) (*Result, error) {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use EnumerateContext
 	return EnumerateContext(context.Background(), g, pt, opt, nil)
 }
 

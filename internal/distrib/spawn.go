@@ -44,7 +44,9 @@ func RunSpawnedWorker(exec Executor) error {
 		return err
 	}
 	fmt.Printf("%s%s\n", readyPrefix, ln.Addr())
+	//lint:allow ctxhygiene worker-process root context; cancelled when the coordinator closes stdin
 	ctx, cancel := context.WithCancel(context.Background())
+	//lint:allow ctxhygiene stdin watcher lives for the worker process and is what triggers the cancel
 	go func() {
 		io.Copy(io.Discard, os.Stdin)
 		cancel()

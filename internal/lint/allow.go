@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowKey identifies one suppressed (file, line, analyzer) triple.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directives is the parsed //lint: directive state for one unit.
+type directives struct {
+	// allow marks lines whose diagnostics from a given analyzer are
+	// suppressed. A directive suppresses its own line and, when it is
+	// the only thing on its line, the line below it.
+	allow map[allowKey]bool
+	// problems are directive-hygiene diagnostics: //lint:allow without
+	// an analyzer name or reason, or naming an analyzer that does not
+	// exist. A suppression that silently matches nothing is worse than
+	// a false positive, so malformed directives fail the run.
+	problems []Diagnostic
+}
+
+// collectDirectives scans every comment in the unit for //lint:allow and
+// //lint:deterministic directives. Other //lint: verbs (e.g. staticcheck's
+// //lint:ignore) belong to other tools and are left alone.
+func collectDirectives(u *Unit) *directives {
+	d := &directives{allow: make(map[allowKey]bool)}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(u.Fset, c)
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) parseComment(fset *token.FileSet, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+	if !ok {
+		return
+	}
+	pos := fset.Position(c.Slash)
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		d.problems = append(d.problems, Diagnostic{
+			Pos:      c.Slash,
+			Analyzer: "sgmrlint",
+			Message:  "malformed directive: //lint:allow needs an analyzer name and a reason",
+		})
+		return
+	}
+	name := fields[0]
+	if byName(name) == nil {
+		d.problems = append(d.problems, Diagnostic{
+			Pos:      c.Slash,
+			Analyzer: "sgmrlint",
+			Message:  "//lint:allow names unknown analyzer " + name + " (known: " + knownNames() + ")",
+		})
+		return
+	}
+	if len(fields) < 2 {
+		d.problems = append(d.problems, Diagnostic{
+			Pos:      c.Slash,
+			Analyzer: "sgmrlint",
+			Message:  "//lint:allow " + name + " needs a reason: //lint:allow " + name + " <why this is sound>",
+		})
+		return
+	}
+	d.allow[allowKey{pos.Filename, pos.Line, name}] = true
+	// A directive alone on its line (column 1 after indentation — no
+	// code before the comment) also covers the next line, the usual
+	// "comment above the statement" placement. We approximate "alone on
+	// its line" by suppressing the next line unconditionally: a trailing
+	// directive's own line has the flagged code, so the extra next-line
+	// grant is harmless, and it keeps the rule easy to state.
+	d.allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+}
+
+// filter drops diagnostics covered by an allow directive.
+func (d *directives) filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		if d.allow[allowKey{pos.Filename, pos.Line, diag.Analyzer}] {
+			continue
+		}
+		kept = append(kept, diag)
+	}
+	return kept
+}
+
+// hasDeterministicDirective reports whether the function's doc comment
+// carries //lint:deterministic, opting it into detenc's root set by
+// declaration rather than by name pattern.
+func hasDeterministicDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//lint:deterministic" ||
+			strings.HasPrefix(c.Text, "//lint:deterministic ") {
+			return true
+		}
+	}
+	return false
+}

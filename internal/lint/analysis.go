@@ -1,0 +1,125 @@
+// Package lint implements sgmrlint's project-specific analyzers and the
+// minimal go/analysis-style framework they run on.
+//
+// The framework is stdlib-only on purpose: the module has no third-party
+// dependencies, and the tool that mechanizes the engine's invariants must
+// not be the thing that introduces one. The subset mirrors
+// golang.org/x/tools/go/analysis closely enough (Analyzer/Pass/Reportf,
+// analysistest-style fixtures under testdata/src) that the analyzers could
+// be ported to the real framework nearly verbatim if the dependency ever
+// lands. The drivers in internal/lint/driver speak the `go vet -vettool`
+// command-line protocol, so `go vet -vettool=$(which sgmrlint) ./...`
+// works exactly as it would with a unitchecker-based tool.
+//
+// Every analyzer supports the escape hatch
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or on its own line immediately above; the
+// reason is mandatory (a bare directive is itself a diagnostic). The
+// directives double as the project's audit trail: each one documents why a
+// locally suspicious construct is sound.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. It is the stdlib-only
+// counterpart of analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives.
+	Name string
+	// Doc is the one-paragraph rule statement shown by `sgmrlint help`.
+	Doc string
+	// Run reports diagnostics for one type-checked package via
+	// Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Unit is one loaded, type-checked package — the input both drivers and
+// the fixture harness hand to Run.
+type Unit struct {
+	// Path is the package's import path as the build system knows it
+	// (vet test variants keep their " [pkg.test]" suffix).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Pass carries one analyzer's view of a Unit, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Run executes the analyzers over one unit, applies the //lint:allow
+// suppressions, folds in directive-hygiene diagnostics (malformed or
+// unknown-analyzer directives), and returns the surviving findings in
+// position order. An analyzer returning an error aborts the run — analyzer
+// bugs must fail loudly, not silently drop findings.
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := collectDirectives(u)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Path:      u.Path,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = dirs.filter(u.Fset, diags)
+	diags = append(diags, dirs.problems...)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := u.Fset.Position(diags[i].Pos), u.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}

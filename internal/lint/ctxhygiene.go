@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxHygiene enforces cancellation plumbing in library code.
+//
+// Every execution path in the engine is supposed to thread the caller's
+// ctx: the serve handlers cancel per request, the distributed runner
+// cancels straggling workers, and Stream's early-stop contract rides on
+// ctx.Done(). A context.Background()/TODO() in library code silently
+// detaches a subtree from that plumbing. Two rules:
+//
+//  1. context.Background() and context.TODO() are flagged in non-test,
+//     non-main library code. Deprecated compatibility shims and true
+//     process-lifetime roots state their reason in a //lint:allow.
+//  2. An exported function that launches goroutines but accepts no
+//     context.Context (and no other visible cancellation path) is flagged:
+//     callers get concurrency they cannot cancel. Types with an explicit
+//     lifecycle (a Close/Stop method owning the goroutine) document that
+//     via //lint:allow.
+//
+// Rule 2 also flags exitless `for {}` loops (no break, no return) in such
+// functions — a goroutine or loop nobody can stop is the same bug.
+var CtxHygiene = &Analyzer{
+	Name: "ctxhygiene",
+	Doc: "flag context.Background()/TODO() in library code and exported " +
+		"functions that start goroutines or exitless loops without a context parameter",
+	Run: runCtxHygiene,
+}
+
+func runCtxHygiene(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Binaries own the root context; creating it there is the point.
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Filename(f.Pos())) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			switch callee.FullName() {
+			case "context.Background", "context.TODO":
+				pass.Reportf(call.Pos(),
+					"%s() in library code detaches this path from caller cancellation; accept and thread a ctx parameter",
+					callee.Name())
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkExportedCancellation(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkExportedCancellation applies rule 2 to one declaration.
+func checkExportedCancellation(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || hasCtxParam(pass.TypesInfo, fd) || unexportedReceiver(fd) {
+		return
+	}
+	// Report at the launch site, not the declaration: the allow directive
+	// then sits next to the goroutine whose lifecycle it vouches for.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"exported %s starts a goroutine but takes no context.Context; callers cannot cancel it — add a ctx parameter or document the lifecycle owner",
+				fd.Name.Name)
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopHasExit(n) {
+				pass.Reportf(n.Pos(),
+					"exported %s runs an exitless for-loop and takes no context.Context; add a ctx/stop check to the loop",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether any parameter's type is context.Context.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && t.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// unexportedReceiver reports whether fd is a method on an unexported type,
+// which keeps it out of the package's public API surface.
+func unexportedReceiver(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+// loopHasExit reports whether an exitless-looking `for {}` contains a
+// return, or a break/goto that leaves it. Breaks belonging to nested
+// loops, switches, and selects do not count.
+func loopHasExit(loop *ast.ForStmt) bool {
+	exit := false
+	var walk func(n ast.Node, breakable bool)
+	walk = func(n ast.Node, breakable bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exit || m == n && breakable {
+				return !exit
+			}
+			switch m := m.(type) {
+			case *ast.ReturnStmt:
+				exit = true
+				return false
+			case *ast.BranchStmt:
+				switch m.Tok {
+				case token.GOTO:
+					exit = true
+					return false
+				case token.BREAK:
+					if !breakable || m.Label != nil {
+						exit = true
+						return false
+					}
+				}
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if m != n {
+					walk(m, true)
+					return false
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+	}
+	walk(loop.Body, false)
+	return exit
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetEnc polices byte-level determinism in encode/key-building paths.
+//
+// Wire frames, spill runs, and shuffle keys must encode identically on
+// every process: KeyPartition slices the FNV-1a of the encoded key, the
+// distributed runner routes reducers by those bytes, and
+// CheckDistributedParity diffs local vs distributed output byte-for-byte.
+// A `for k := range m` inside an encoder emits map-iteration order —
+// different per run, per process — and becomes a parity heisenbug the
+// difftests may never catch. Within the packages that own encodings
+// (internal/mapreduce, internal/distrib, internal/triangle, and the root
+// package's querykey.go), this analyzer marks deterministic roots —
+// functions whose name says they build bytes (append*/encode*/spill*/
+// marshal*/*key*) or that carry a //lint:deterministic doc directive —
+// closes the set over same-package calls, and flags map ranges,
+// reflect.Value.MapKeys/MapRange, and hash/maphash use inside it
+// (maphash is seeded per process, so its keys differ across workers).
+var DetEnc = &Analyzer{
+	Name: "detenc",
+	Doc: "flag map iteration and per-process hashing inside deterministic " +
+		"encode/key-building call paths; encodings must be byte-identical across runs",
+	Run: runDetEnc,
+}
+
+// detencDirs are the package-path segments whose encodings feed the wire,
+// spill, and shuffle-key formats.
+var detencDirs = []string{
+	"internal/mapreduce",
+	"internal/distrib",
+	"internal/triangle",
+}
+
+func runDetEnc(pass *Pass) error {
+	// Gather the declarations in scope for this unit. The root package is
+	// in scope only through querykey.go; fixture packages are named after
+	// the analyzer.
+	type declInfo struct {
+		decl *ast.FuncDecl
+		root bool
+	}
+	inScopePath := pass.Path == "detenc" || strings.HasSuffix(pass.Path, "/detenc")
+	for _, dir := range detencDirs {
+		if strings.Contains(pass.Path, dir) {
+			inScopePath = true
+		}
+	}
+	byObj := make(map[*types.Func]*declInfo)
+	var order []*declInfo
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Filename(f.Pos()))
+		if isTestFile(base) {
+			continue
+		}
+		if !inScopePath && base != "querykey.go" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			di := &declInfo{decl: fd, root: isDeterministicRoot(fd)}
+			order = append(order, di)
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				byObj[obj] = di
+			}
+		}
+	}
+
+	// Close the deterministic set over same-package calls: a helper called
+	// from an encoder inherits the obligation even if its own name is
+	// innocuous.
+	deterministic := make(map[*declInfo]bool)
+	var mark func(di *declInfo)
+	mark = func(di *declInfo) {
+		if deterministic[di] {
+			return
+		}
+		deterministic[di] = true
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if target, ok := byObj[callee]; ok {
+					mark(target)
+				}
+			}
+			return true
+		})
+	}
+	for _, di := range order {
+		if di.root {
+			mark(di)
+		}
+	}
+
+	for _, di := range order {
+		if !deterministic[di] {
+			continue
+		}
+		name := di.decl.Name.Name
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Map); ok {
+					pass.Reportf(n.For,
+						"map iteration inside deterministic encode path %s: order varies per run and breaks byte-level parity (KeyPartition routing, CheckDistributedParity); iterate a sorted key slice instead",
+						name)
+				}
+			case *ast.CallExpr:
+				callee := calleeFunc(pass.TypesInfo, n)
+				if callee == nil {
+					return true
+				}
+				switch full := callee.FullName(); full {
+				case "(reflect.Value).MapKeys", "(reflect.Value).MapRange":
+					pass.Reportf(n.Pos(),
+						"%s inside deterministic encode path %s visits keys in nondeterministic order; sort them before encoding",
+						full, name)
+				default:
+					if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "hash/maphash" {
+						pass.Reportf(n.Pos(),
+							"hash/maphash inside deterministic encode path %s is seeded per process; keys built from it differ across workers — use the FNV-1a KeyPartition path",
+							name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isDeterministicRoot reports whether a function's name or doc directive
+// places it in a deterministic encode/key-building context.
+func isDeterministicRoot(fd *ast.FuncDecl) bool {
+	if hasDeterministicDirective(fd.Doc) {
+		return true
+	}
+	name := strings.ToLower(fd.Name.Name)
+	for _, prefix := range []string{"append", "encode", "spill", "marshal"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return strings.Contains(name, "key")
+}

@@ -1,0 +1,58 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+
+	"subgraphmr/internal/lint"
+)
+
+// Standalone loads the packages matching patterns (relative to dir),
+// type-checks each from source, and runs the full analyzer suite,
+// returning rendered diagnostics in package order. It is the direct-run
+// mode of cmd/sgmrlint (`sgmrlint ./...`) and needs only the go
+// toolchain: dependencies come from build-cache export data, so it works
+// offline.
+func Standalone(dir string, patterns ...string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports, nil)
+	var rendered []string
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		filenames := make([]string, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, name))
+		}
+		unit, err := TypeCheck(fset, p.ImportPath, "", filenames, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		diags, err := lint.Run(unit, lint.All())
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			rendered = append(rendered, Render(fset, d))
+		}
+	}
+	return rendered, nil
+}

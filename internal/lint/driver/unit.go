@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"subgraphmr/internal/lint"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go writes for each
+// package when driving an analysis tool through `go vet -vettool=...`.
+// The schema is the unitchecker.Config contract; fields the stdlib driver
+// does not need (facts, cgo preprocessing) are accepted and ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one `go vet -vettool` unit of work described by the
+// .cfg file and returns the rendered diagnostics. cmd/go requires the
+// VetxOutput facts file to exist afterwards, so it is written even when
+// there is nothing to report — the sgmrlint analyzers exchange no facts,
+// making an empty file a valid serialization.
+func RunUnit(cfgFile string) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgFile, err)
+	}
+	if cfg.ImportPath == "" {
+		return nil, fmt.Errorf("vet config %s has no import path", cfgFile)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	if c := cfg.Compiler; c != "" && c != "gc" {
+		return nil, fmt.Errorf("unsupported compiler %q", c)
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, cfg.PackageFile, func(importPath string) (string, bool) {
+		path, ok := cfg.ImportMap[importPath]
+		return path, ok
+	})
+	filenames := make([]string, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		filenames = append(filenames, name)
+	}
+	// cmd/go may pass a point-release version (go1.24.3); go/types accepts
+	// it as-is, but guard against toolchain prefixes like "go1.24rc1".
+	goVersion := cfg.GoVersion
+	if strings.Contains(goVersion, "rc") || strings.Contains(goVersion, "beta") {
+		goVersion = ""
+	}
+	unit, err := TypeCheck(fset, cfg.ImportPath, goVersion, filenames, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	diags, err := lint.Run(unit, lint.All())
+	if err != nil {
+		return nil, err
+	}
+	rendered := make([]string, 0, len(diags))
+	for _, d := range diags {
+		rendered = append(rendered, Render(fset, d))
+	}
+	return rendered, nil
+}

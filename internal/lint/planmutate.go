@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// PlanMutate enforces the copy-before-mutate contract on *QueryPlan.
+//
+// A prepared plan is shared: the serve plan cache hands the same *QueryPlan
+// to concurrent requests, and Run/Stream/Instances may execute one plan
+// from several goroutines. The contract (documented on QueryPlan) is that
+// after Plan returns, plan fields are never written through a pointer —
+// execution-time variation is done on a value copy (`lp := *p`). This
+// analyzer mechanizes the rule: any field write whose base is a *QueryPlan
+// (including writes through aliases and chains like p.opts.workers, or
+// p.Probes[i] when Probes is reached through the pointer) is flagged unless
+// it occurs in plan.go or inside a function named Plan — the one place
+// construction-time mutation is legitimate.
+var PlanMutate = &Analyzer{
+	Name: "planmutate",
+	Doc: "flag field writes through *QueryPlan outside Plan/plan.go; " +
+		"shared plans are immutable after planning — copy first (lp := *p)",
+	Run: runPlanMutate,
+}
+
+func runPlanMutate(pass *Pass) error {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Filename(f.Pos()))
+		if name == "plan.go" || isTestFile(name) {
+			continue
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkPlanWrite(pass, lhs, stack)
+				}
+			case *ast.IncDecStmt:
+				checkPlanWrite(pass, n.X, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkPlanWrite(pass *Pass, lhs ast.Expr, stack []ast.Node) {
+	if inFuncNamed(stack, "Plan") {
+		return
+	}
+	// Walk down the access chain (p.opts.workers, p.Probes[i], (*pp).X)
+	// looking for a step whose base expression is a *QueryPlan. A write
+	// that only ever touches QueryPlan values (lp.opts = ... where lp is
+	// a copy) never sees a pointer base and stays legal.
+	for expr := ast.Unparen(lhs); ; {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if isPtrToQueryPlan(pass.TypesInfo.TypeOf(e.X)) {
+				pass.Reportf(lhs.Pos(),
+					"write to %s through *QueryPlan outside Plan/plan.go; prepared plans are shared (plan cache, concurrent Run/Stream) — copy before mutating: lp := *p",
+					e.Sel.Name)
+				return
+			}
+			expr = ast.Unparen(e.X)
+		case *ast.StarExpr:
+			if isPtrToQueryPlan(pass.TypesInfo.TypeOf(e.X)) {
+				pass.Reportf(lhs.Pos(),
+					"write through dereferenced *QueryPlan outside Plan/plan.go; copy before mutating: lp := *p")
+				return
+			}
+			expr = ast.Unparen(e.X)
+		case *ast.IndexExpr:
+			expr = ast.Unparen(e.X)
+		default:
+			return
+		}
+	}
+}
+
+// inFuncNamed reports whether the innermost enclosing FuncDecl has the
+// given name (function literals defer to the declaration that owns them:
+// a closure inside Plan is still planning code).
+func inFuncNamed(stack []ast.Node, name string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name == name
+		}
+	}
+	return false
+}
+
+// isPtrToQueryPlan reports whether t is *QueryPlan (any package: fixtures
+// and future internal mirrors of the type get the same discipline).
+func isPtrToQueryPlan(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "QueryPlan"
+}

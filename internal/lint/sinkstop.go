@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SinkStop enforces the cooperative-stop contract on streaming sinks.
+//
+// Streaming delivery (Stream, Instances' push mode, the reducer emit
+// chain) signals early stop through the sink's boolean result: yield
+// returning false means "stop producing" — the engine propagates it into
+// the shared stop flag and ctx cancellation. A call site that drops that
+// boolean keeps enumerating after the consumer has walked away, which at
+// best wastes a full subgraph enumeration and at worst deadlocks a
+// bounded channel. This analyzer flags statements that call a
+// sink-shaped function (named yield/sink/emit/deliver/accept/push/send,
+// or *Yield/*Sink, returning exactly one bool) and discard the result —
+// either as a bare statement inside a loop or via `_ =` anywhere. A
+// discarded final call immediately before returning (the "flush the
+// terminal error, then exit" idiom) is not flagged: nothing is left to
+// stop.
+var SinkStop = &Analyzer{
+	Name: "sinkstop",
+	Doc: "flag streaming sink/yield calls whose bool stop signal is " +
+		"discarded; producers must stop when the sink returns false",
+	Run: runSinkStop,
+}
+
+func runSinkStop(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Filename(f.Pos())) {
+			continue
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok || !isSinkCall(pass.TypesInfo, call) {
+					return true
+				}
+				if terminalDiscard(n, stack) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"result of %s discarded: the bool is the cooperative stop signal — stop the loop (or return) when it is false",
+					calleeName(call))
+			case *ast.AssignStmt:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 || !isBlank(n.Lhs[0]) {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !isSinkCall(pass.TypesInfo, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"stop signal from %s discarded with _ =; check the result and stop producing when it is false",
+					calleeName(call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSinkCall reports whether call invokes a sink-shaped function: a
+// conventionally named callee returning exactly one bool.
+func isSinkCall(info *types.Info, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if name == "" || !sinkName(name) {
+		return false
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+// sinkName matches the project's sink/yield naming conventions.
+func sinkName(name string) bool {
+	switch strings.ToLower(name) {
+	case "yield", "sink", "emit", "deliver", "accept", "push", "send":
+		return true
+	}
+	return strings.HasSuffix(name, "Yield") || strings.HasSuffix(name, "Sink")
+}
+
+// terminalDiscard reports whether a bare sink call is the accepted
+// terminal-flush idiom: outside any loop of its function, and immediately
+// followed by a return (or nothing at all) in its block. The producer is
+// already done; the stop signal has no loop left to stop.
+func terminalDiscard(stmt *ast.ExprStmt, stack []ast.Node) bool {
+	if inLoopWithinFunc(stack) {
+		return false
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	var list []ast.Stmt
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.BlockStmt:
+		list = parent.List
+	case *ast.CaseClause:
+		list = parent.Body
+	case *ast.CommClause:
+		list = parent.Body
+	default:
+		return false
+	}
+	for i, s := range list {
+		if s != ast.Stmt(stmt) {
+			continue
+		}
+		if i == len(list)-1 {
+			return true
+		}
+		_, isReturn := list[i+1].(*ast.ReturnStmt)
+		return isReturn
+	}
+	return false
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,86 @@
+// Package ctxhygiene is the golden fixture for the ctxhygiene analyzer:
+// detached contexts in library code and exported entry points that start
+// uncancellable work.
+package ctxhygiene
+
+import "context"
+
+// library code may not mint root contexts.
+func library() {
+	ctx := context.Background() // want "Background\\(\\) in library code"
+	_ = ctx
+	_ = context.TODO() // want "TODO\\(\\) in library code"
+}
+
+// Run is exported and fires a goroutine callers cannot cancel.
+func Run() {
+	go worker() // want "exported Run starts a goroutine but takes no context.Context"
+}
+
+// Spin runs an exitless loop with no cancellation path.
+func Spin() {
+	for { // want "exported Spin runs an exitless for-loop"
+		step()
+	}
+}
+
+// Drain's loop can exit on its own; not flagged.
+func Drain() {
+	for {
+		if done() {
+			return
+		}
+	}
+}
+
+// Poll's loop has a condition; not flagged.
+func Poll() {
+	for !done() {
+		step()
+	}
+}
+
+// RunContext threads ctx, so the goroutine has a cancellation story.
+func RunContext(ctx context.Context) {
+	go worker()
+	_ = ctx
+}
+
+// spawn is unexported: internal concurrency is its caller's concern.
+func spawn() { go worker() }
+
+// pool is unexported, so its methods are not public API surface.
+type pool struct{}
+
+func (p *pool) Start() { go worker() }
+
+// NewThing documents its lifecycle owner instead of taking a ctx (the
+// engine's Stats/Close pattern).
+func NewThing() {
+	//lint:allow ctxhygiene the worker is owned by Thing and stopped by Close
+	go worker()
+}
+
+// Convenience is the sanctioned ctx-less wrapper pattern.
+func Convenience() {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use RunContext
+	RunContext(context.Background())
+}
+
+// Directive hygiene: a suppression that cannot match anything is itself a
+// finding.
+
+//lint:allow
+// want-1 "malformed directive"
+
+//lint:allow bogus because reasons
+// want-1 "unknown analyzer bogus"
+
+//lint:allow detenc
+// want-1 "needs a reason"
+
+func worker() {}
+func step()   {}
+func done() bool {
+	return true
+}

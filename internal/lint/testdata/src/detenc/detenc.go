@@ -1,0 +1,87 @@
+// Package detenc is the golden fixture for the detenc analyzer: map
+// iteration and per-process hashing inside deterministic encode and
+// key-building call paths.
+package detenc
+
+import (
+	"hash/maphash"
+	"reflect"
+	"sort"
+)
+
+// appendKey is a deterministic root by name (append* prefix).
+func appendKey(dst []byte, m map[string]int) []byte {
+	for k := range m { // want "map iteration inside deterministic encode path appendKey"
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// encodeAll pulls helperFold into the deterministic set through the
+// same-package call graph.
+func encodeAll(dst []byte, ms []map[string]int) []byte {
+	for _, m := range ms {
+		dst = helperFold(dst, m)
+	}
+	return dst
+}
+
+// helperFold has an innocuous name; it inherits the obligation from its
+// caller.
+func helperFold(dst []byte, m map[string]int) []byte {
+	for k := range m { // want "map iteration inside deterministic encode path helperFold"
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// encodeReflect: reflect's map accessors are unordered too.
+func encodeReflect(dst []byte, v reflect.Value) []byte {
+	for _, k := range v.MapKeys() { // want "MapKeys inside deterministic encode path encodeReflect"
+		dst = append(dst, k.String()...)
+	}
+	return dst
+}
+
+// keyHash: maphash is seeded per process, so keys built from it disagree
+// across workers.
+func keyHash(b []byte) uint64 {
+	var h maphash.Hash
+	h.Write(b)       // want "hash/maphash inside deterministic encode path keyHash"
+	return h.Sum64() // want "hash/maphash inside deterministic encode path keyHash"
+}
+
+// annotated is opted in by directive rather than by name.
+//
+//lint:deterministic
+func annotated(dst []byte, m map[string]int) []byte {
+	for k := range m { // want "map iteration inside deterministic encode path annotated"
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// sumLoads is outside the deterministic set: the name is innocuous and no
+// deterministic function calls it, so order-insensitive folds are free.
+func sumLoads(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// encodeSorted is the sanctioned fix: collect, sort, then emit — with the
+// collection loop documented.
+func encodeSorted(dst []byte, m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	//lint:allow detenc iteration order is erased by the sort below; emission is key-sorted
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = append(dst, k...)
+	}
+	return dst
+}

@@ -1,0 +1,43 @@
+package planmutate
+
+// execute models execution-time code: any write through the shared
+// pointer is a contract violation.
+func execute(p *QueryPlan) {
+	p.Strategy = "star"  // want "write to Strategy through \\*QueryPlan"
+	p.opts.workers = 8   // want "write to opts through \\*QueryPlan"
+	p.Probes[0] = 1      // want "write to Probes through \\*QueryPlan"
+	p.opts.workers++     // want "write to opts through \\*QueryPlan"
+	pp := p              // aliasing does not launder the pointer
+	pp.Strategy = "copy" // want "write to Strategy through \\*QueryPlan"
+	(*pp).Strategy = "x" // want "write through dereferenced \\*QueryPlan"
+}
+
+// localCopy is the sanctioned pattern: copy the plan value, vary the copy.
+func localCopy(p *QueryPlan) QueryPlan {
+	lp := *p
+	lp.Strategy = "local" // value copy: allowed
+	lp.opts.workers = 2   // allowed
+	return lp
+}
+
+// cache.Plan shows the function-name exemption: a method named Plan is
+// construction code even outside plan.go.
+type cache struct{}
+
+func (c *cache) Plan() *QueryPlan {
+	p := &QueryPlan{}
+	p.Strategy = "cached" // allowed: inside Plan
+	return p
+}
+
+// memoWrite is the documented-exception pattern (the engine's
+// sync.Once-guarded graph-payload memo).
+func memoWrite(p *QueryPlan) {
+	//lint:allow planmutate fixture mirror of the Plan-allocated sync.Once memo write
+	p.Strategy = "memo"
+}
+
+// reads never trip the analyzer.
+func inspect(p *QueryPlan) (string, int) {
+	return p.Strategy, p.opts.workers
+}

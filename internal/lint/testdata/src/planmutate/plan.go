@@ -1,0 +1,25 @@
+// Package planmutate is the golden fixture for the planmutate analyzer.
+// It mirrors the engine's QueryPlan shape: an exported plan struct with
+// nested unexported option state, constructed by Plan and immutable after.
+package planmutate
+
+type planOpts struct {
+	workers int
+}
+
+// QueryPlan mirrors subgraphmr.QueryPlan for fixture purposes; the
+// analyzer matches the type by name in any package.
+type QueryPlan struct {
+	Strategy string
+	Probes   []int
+	opts     planOpts
+}
+
+// Plan constructs a plan. Writes here are construction — plan.go is the
+// one file where pointer-based mutation is legitimate.
+func Plan() *QueryPlan {
+	p := &QueryPlan{}
+	p.Strategy = "bucket"
+	p.opts.workers = 4
+	return p
+}

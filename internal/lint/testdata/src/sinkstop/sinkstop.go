@@ -1,0 +1,68 @@
+// Package sinkstop is the golden fixture for the sinkstop analyzer:
+// streaming sink/yield calls whose boolean stop signal is discarded.
+package sinkstop
+
+// produce drops the stop signal inside its loop — the canonical bug: the
+// consumer walked away and the producer keeps enumerating.
+func produce(items []int, yield func(int) bool) {
+	for _, it := range items {
+		yield(it) // want "result of yield discarded"
+	}
+}
+
+// produceChecked is the contract done right.
+func produceChecked(items []int, yield func(int) bool) {
+	for _, it := range items {
+		if !yield(it) {
+			return
+		}
+	}
+}
+
+// discard throws the signal away explicitly; flagged even outside a loop.
+func discard(yield func(int) bool) {
+	_ = yield(1) // want "stop signal from yield discarded"
+}
+
+// flush shows the accepted terminal idiom: a final delivery immediately
+// before returning has no loop left to stop.
+func flush(yield func(int) bool, err int) {
+	if err != 0 {
+		yield(err)
+		return
+	}
+	yield(0)
+}
+
+// report's sink returns nothing — no stop contract to enforce.
+func report(items []int, emit func(int)) {
+	for _, it := range items {
+		emit(it)
+	}
+}
+
+// progress returns a non-bool; not a stop signal.
+func progress(items []int, push func(int) int) {
+	for _, it := range items {
+		push(it)
+	}
+}
+
+// drain documents an intentional full drain.
+func drain(items []int, sink func(int) bool) {
+	for _, it := range items {
+		//lint:allow sinkstop consumer requested a full drain; stop is handled by the caller
+		sink(it)
+	}
+}
+
+// out.TrySink matches by the *Sink suffix convention.
+type out struct{}
+
+func (o *out) TrySink(v int) bool { return v >= 0 }
+
+func pump(o *out, items []int) {
+	for _, it := range items {
+		o.TrySink(it) // want "result of TrySink discarded"
+	}
+}

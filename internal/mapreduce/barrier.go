@@ -41,6 +41,7 @@ func RunBarrier[I any, K comparable, V any, O any](
 			continue
 		}
 		wg.Add(1)
+		//lint:allow ctxhygiene map workers are call-scoped and joined by wg.Wait before RunBarrier returns
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			local := make(map[K][]V)
@@ -98,6 +99,7 @@ func RunBarrier[I any, K comparable, V any, O any](
 			continue
 		}
 		wg.Add(1)
+		//lint:allow ctxhygiene reduce workers are call-scoped and joined by wg.Wait before RunBarrier returns
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			var out []O

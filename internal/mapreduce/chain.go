@@ -43,6 +43,7 @@ func NewChain(cfg Config) *Chain { return &Chain{Cfg: cfg} }
 
 // RunRound executes j as the chain's next round and returns its outputs.
 func RunRound[I any, K comparable, V any, O any](c *Chain, j Job[I, K, V, O], inputs []I) []O {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use RunRoundContext
 	outs, _ := RunRoundContext(context.Background(), c, j, inputs)
 	return outs
 }

@@ -240,6 +240,7 @@ func partitionIndex[K comparable](partition Partitioner[K], k K, p int) int {
 // a Combiner is set), and Reduce is applied to each key group. It returns
 // the reducer outputs (in no particular order) and the job metrics.
 func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use RunContext
 	out, m, _ := j.RunContext(context.Background(), cfg, inputs)
 	return out, m
 }
@@ -275,6 +276,7 @@ func (j Job[I, K, V, O]) RunContext(ctx context.Context, cfg Config, inputs []I)
 // ctx.Err(). Metrics.Outputs counts only the values yield accepted.
 func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, yield func(O) bool) (Metrics, error) {
 	if ctx == nil {
+		//lint:allow ctxhygiene documented nil-ctx fallback: a nil ctx means "no cancellation"
 		ctx = context.Background()
 	}
 	nm := cfg.workers()
@@ -702,6 +704,7 @@ func ReducerLoadsByKey[I any, K comparable, V any](
 			continue
 		}
 		wg.Add(1)
+		//lint:allow ctxhygiene probe workers are call-scoped and joined by wg.Wait before returning
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			counts := make(map[K]int)
@@ -714,6 +717,7 @@ func ReducerLoadsByKey[I any, K comparable, V any](
 	wg.Wait()
 	merged := make(map[K]int)
 	for _, counts := range partials {
+		//lint:allow detenc order-insensitive fold: counts are summed into a map, no bytes are emitted
 		for k, c := range counts {
 			merged[k] += c
 		}

@@ -72,6 +72,7 @@ func (s *spiller[K, V]) spill(groups map[K][]V) error {
 		vs []V
 	}
 	entries := make([]entry, 0, len(groups))
+	//lint:allow detenc iteration order is erased by the sort.Slice below; runs are written key-sorted
 	for k, vs := range groups {
 		entries = append(entries, entry{s.codec.AppendKey(nil, k), vs})
 	}

@@ -79,6 +79,7 @@ func NewStats(interval time.Duration) *Stats {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	//lint:allow ctxhygiene the flusher is owned by Stats and stopped by Close
 	go s.flusher()
 	return s
 }

@@ -58,6 +58,7 @@ func runTriangleJob[V any](ctx context.Context, j mapreduce.Job[graph.Edge, trip
 // whose triple is the canonical completion of the triangle's group set, so
 // the over-counting the paper describes is compensated exactly.
 func Partition(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use PartitionContext
 	return PartitionContext(context.Background(), g, b, seed, cfg, nil)
 }
 
@@ -176,6 +177,7 @@ type taggedEdge struct {
 // (b, b, b). Each edge reaches exactly 3b−2 distinct reducers (the paper's
 // footnote-1 dedup is performed, merging the coinciding role copies).
 func Multiway(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use MultiwayContext
 	return MultiwayContext(context.Background(), g, b, seed, cfg, nil)
 }
 
@@ -265,6 +267,7 @@ func multiwayMapper(h graph.NodeHash, b int) mapreduce.Mapper[graph.Edge, triple
 // shipped to exactly b reducers; the triangle (u ≺ v ≺ w) is owned by the
 // reducer of its sorted bucket triple.
 func BucketOrdered(g *graph.Graph, b int, seed uint64, cfg mapreduce.Config) (Result, error) {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use BucketOrderedContext
 	return BucketOrderedContext(context.Background(), g, b, seed, cfg, nil)
 }
 

@@ -54,6 +54,7 @@ type edgeOrWedge struct {
 // Triangles enumerates every triangle exactly once (as X < Y < Z with the
 // natural node order) as an explicit two-round chain.
 func Triangles(g *graph.Graph, cfg mapreduce.Config) Result {
+	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use TrianglesContext
 	res, _ := TrianglesContext(context.Background(), g, cfg, nil)
 	return res
 }
