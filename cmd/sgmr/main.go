@@ -150,6 +150,7 @@ func run(args []string, out io.Writer) error {
 		distAddrs  = fs.String("dist-workers", "", "comma-separated worker addresses (started with -serve-worker) to distribute execution across")
 		distSpawn  = fs.Int("distributed", 0, "spawn this many local worker processes and distribute execution across them")
 		faultFlag  = fs.String("fault", "", "inject a worker failure into a distributed run: kill, drop or stall (testing/CI)")
+		failpoints = fs.String("failpoints", "", "arm fault-injection sites as site=mode[*count][;...] (modes: error, enospc, panic, delay:DUR, corrupt; also via the SGMR_FAILPOINTS env var)")
 		explain    = fs.Bool("explain", false, "print the chosen plan and candidate costs without running")
 		jsonOut    = fs.Bool("json", false, "emit the plan and result as JSON")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -160,6 +161,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return errUsage
+	}
+
+	if *failpoints != "" {
+		if err := subgraphmr.EnableFailpoints(*failpoints); err != nil {
+			return err
+		}
 	}
 
 	if *serveFlag {

@@ -76,6 +76,8 @@ func startServe(args []string, out io.Writer) (*serve.Server, net.Listener, erro
 		cacheSize  = fs.Int("plan-cache", 128, "prepared-plan cache capacity (plans)")
 		flush      = fs.Duration("flush", 10*time.Second, "metrics aggregator flush interval")
 		bodyLimit  = fs.Int("limit", 1000, "max instances materialized into one JSON response body")
+		queryTO    = fs.Duration("query-timeout", 0, "per-query deadline (admission queueing + execution); expired queries get 504 (0 disables)")
+		failpoints = fs.String("failpoints", "", "arm fault-injection sites as site=mode[*count][;...] (testing/chaos; also via the SGMR_FAILPOINTS env var)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,6 +87,11 @@ func startServe(args []string, out io.Writer) (*serve.Server, net.Listener, erro
 	}
 	if len(loads) == 0 {
 		return nil, nil, fmt.Errorf("serve: at least one -load name=spec is required")
+	}
+	if *failpoints != "" {
+		if err := subgraphmr.EnableFailpoints(*failpoints); err != nil {
+			return nil, nil, err
+		}
 	}
 	graphs := make(map[string]*subgraphmr.Graph, len(loads))
 	for _, l := range loads {
@@ -109,6 +116,7 @@ func startServe(args []string, out io.Writer) (*serve.Server, net.Listener, erro
 		PlanCacheSize:    *cacheSize,
 		FlushInterval:    *flush,
 		MaxBodyInstances: *bodyLimit,
+		QueryTimeout:     *queryTO,
 	})
 	ln, err := net.Listen("tcp", *listenAddr)
 	if err != nil {

@@ -147,6 +147,38 @@ func TestDistributedMidRunCancel(t *testing.T) {
 	waitForGoroutines(t, baseline)
 }
 
+// TestDistributedInjectedFaultTeardown extends the teardown contract to
+// injected transport faults: with one coordinator-side frame read failing,
+// the retry ladder must still reach the local count, and — the actual
+// subject — the spawned worker processes and coordinator goroutines must
+// be fully reclaimed afterwards, exactly as on the healthy path.
+func TestDistributedInjectedFaultTeardown(t *testing.T) {
+	t.Cleanup(ResetFailpoints)
+	ctx := context.Background()
+	local, err := Run(ctx, trianglePlan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	if err := EnableFailpoints("distrib.frame.read=error*1"); err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Run(ctx, trianglePlan(t, WithDistributed(2)))
+	if err != nil {
+		t.Fatalf("injected single read fault must be retried, got %v", err)
+	}
+	if dist.Count != local.Count {
+		t.Fatalf("count after injected fault %d, local %d", dist.Count, local.Count)
+	}
+	summary := dist.Jobs[len(dist.Jobs)-1]
+	if summary.RetriedPartitions == 0 {
+		t.Fatalf("injected read fault recorded no retried partitions: %+v", summary)
+	}
+	waitForNoSpawned(t)
+	waitForGoroutines(t, baseline)
+}
+
 // TestDistributedStreamTeardownWithWorkers checks the dialed-workers path
 // (ServeWorker servers) closes its connections on early break: the
 // in-process servers' per-connection goroutines must drain back to the

@@ -1,0 +1,21 @@
+package subgraphmr
+
+import "subgraphmr/internal/failpoint"
+
+// EnableFailpoints arms fault-injection sites from a spec string of the
+// form "site=mode[*count]" with ';' (or ',') separating multiple entries,
+// e.g. "mr.spill.write=enospc;distrib.dial=error*2". Modes are error,
+// enospc, panic, delay:DURATION and corrupt; an optional *count bounds how
+// many times the site fires. Sites are process-global and meant for tests
+// and chaos drills — when nothing is armed the engine pays a single atomic
+// load per site. The same specs can be supplied through the SGMR_FAILPOINTS
+// environment variable, which spawned worker processes inherit.
+//
+// See internal/failpoint for the site catalog and
+// docs/ARCHITECTURE.md ("Failure model & failpoints") for the semantics of
+// each site.
+func EnableFailpoints(specs string) error { return failpoint.EnableSpecs(specs) }
+
+// ResetFailpoints disarms every failpoint, returning the process to the
+// zero-overhead disabled state.
+func ResetFailpoints() { failpoint.Reset() }

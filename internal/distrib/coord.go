@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subgraphmr/internal/failpoint"
 	"subgraphmr/internal/graph"
 )
 
@@ -51,6 +52,51 @@ const (
 	DefaultRetryBackoff = 50 * time.Millisecond
 )
 
+// Dialing knobs: every worker dial gets dialAttempts tries with exponential
+// backoff starting at dialBackoffBase (so one refused connection during a
+// worker's startup race does not cost the run a worker, let alone fail it).
+const (
+	dialAttempts    = 3
+	dialBackoffBase = 100 * time.Millisecond
+	dialTimeout     = 5 * time.Second
+)
+
+// probeTimeout bounds one health-probe round trip (framePing → framePong).
+const probeTimeout = 2 * time.Second
+
+// dialRetry dials addr with bounded exponential backoff, respecting ctx
+// between attempts. The distrib.dial failpoint fires once per attempt, so
+// an `error*2` spec proves the third attempt succeeds.
+func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	var lastErr error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			backoff := dialBackoffBase << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		if err := failpoint.Eval(failpoint.DistDial); err != nil {
+			lastErr = err
+			continue
+		}
+		dctx, cancel := context.WithTimeout(ctx, dialTimeout)
+		conn, err := d.DialContext(dctx, "tcp", addr)
+		cancel()
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
 // Cluster is a coordinator's view of its workers: one TCP connection each,
 // plus the process handles when the workers were spawned locally.
 type Cluster struct {
@@ -80,17 +126,15 @@ type workerConn struct {
 	dead      atomic.Bool
 }
 
-// Dial connects to already-listening workers. Unreachable addresses are
-// skipped (the distributed run degrades to fewer workers); Dial errors only
-// when no worker is reachable.
+// Dial connects to already-listening workers, retrying each address with
+// bounded exponential backoff (see dialRetry). Addresses still unreachable
+// after the retries are skipped (the distributed run degrades to fewer
+// workers); Dial errors only when no worker is reachable.
 func Dial(ctx context.Context, addrs []string) (*Cluster, error) {
 	cl := &Cluster{}
-	var d net.Dialer
 	var firstErr error
 	for _, addr := range addrs {
-		dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-		conn, err := d.DialContext(dctx, "tcp", addr)
-		cancel()
+		conn, err := dialRetry(ctx, addr)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -155,6 +199,25 @@ func (cl *Cluster) liveWorkers() []*workerConn {
 		}
 	}
 	return live
+}
+
+// probeWorker health-checks one idle connection with a ping/pong round
+// trip under probeTimeout. It is only valid between jobs (the worker's
+// frame loop is the only reader/writer then).
+func probeWorker(w *workerConn) error {
+	if err := writeFrame(w.conn, framePing, nil); err != nil {
+		return err
+	}
+	w.conn.SetReadDeadline(time.Now().Add(probeTimeout))
+	defer w.conn.SetReadDeadline(time.Time{})
+	typ, _, err := readFrame(w.br)
+	if err != nil {
+		return err
+	}
+	if typ != framePong {
+		return fmt.Errorf("distrib: worker %d answered ping with frame type %d", w.idx, typ)
+	}
+	return nil
 }
 
 // killWorker delivers the injected kill/drop fault to worker idx.
@@ -226,15 +289,25 @@ func (cl *Cluster) Enumerate(ctx context.Context, graphPayload []byte, base JobR
 		round   int
 	)
 	for len(tasks) > 0 {
+		if round > 0 {
+			// A retry round follows a worker failure: back off, then
+			// health-probe the survivors so a half-dead connection (peer
+			// gone but FIN not seen, or a corrupted stream) is discovered
+			// now rather than by wasting a partition set on it.
+			time.Sleep(cl.retryBackoff())
+			for _, w := range cl.liveWorkers() {
+				if err := probeWorker(w); err != nil {
+					w.dead.Store(true)
+					w.conn.Close()
+				}
+			}
+		}
 		live = cl.liveWorkers()
 		if len(live) == 0 {
 			for _, t := range tasks {
 				failed = append(failed, t.owned...)
 			}
 			break
-		}
-		if round > 0 {
-			time.Sleep(cl.retryBackoff())
 		}
 		round++
 

@@ -1,0 +1,195 @@
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"subgraphmr/internal/failpoint"
+	"subgraphmr/internal/graph"
+)
+
+// acceptOnce returns a listening address whose server accepts connections
+// and holds them open until the test ends.
+func acceptHold(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			t.Cleanup(func() { conn.Close() })
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestDialRetryAfterInjectedFailures pins the bounded-retry ladder: two
+// injected dial failures cost two backoffs, and the third attempt connects.
+func TestDialRetryAfterInjectedFailures(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	addr := acceptHold(t)
+	if err := failpoint.Enable(failpoint.DistDial, "error*2"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn, err := dialRetry(context.Background(), addr)
+	if err != nil {
+		t.Fatalf("dialRetry with two injected failures = %v, want success on attempt 3", err)
+	}
+	conn.Close()
+	// Attempts 2 and 3 are preceded by 100ms and 200ms backoffs.
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Errorf("dialRetry returned after %v, want >= 300ms of backoff", d)
+	}
+}
+
+// TestDialRetryExhausted: with every attempt failing, the last injected
+// error surfaces after dialAttempts tries.
+func TestDialRetryExhausted(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	addr := acceptHold(t)
+	if err := failpoint.Enable(failpoint.DistDial, "error"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := dialRetry(context.Background(), addr)
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("dialRetry = %v, want the injected error after exhausting retries", err)
+	}
+}
+
+// TestDialRetryRespectsContext: cancellation during a backoff wait wins
+// over further attempts.
+func TestDialRetryRespectsContext(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	addr := acceptHold(t)
+	if err := failpoint.Enable(failpoint.DistDial, "error"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := dialRetry(ctx, addr)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dialRetry under a 30ms ctx = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestProbeWorkerPingPong drives the between-jobs health probe against a
+// real worker: a served connection answers pong; a connection whose peer
+// hangs up fails the probe.
+func TestProbeWorkerPingPong(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exec := func(ctx context.Context, g *graph.Graph, req *JobRequest, emit func([]graph.Node) bool) (*JobResult, error) {
+		return &JobResult{}, nil
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		Serve(ctx, ln, exec)
+	}()
+
+	conn, err := dialRetry(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &workerConn{conn: conn, br: bufio.NewReader(conn)}
+	if err := probeWorker(w); err != nil {
+		t.Fatalf("probe of a healthy worker = %v", err)
+	}
+	if err := probeWorker(w); err != nil {
+		t.Fatalf("second probe on the same connection = %v", err)
+	}
+
+	// Hang-up: a raw server that accepts and immediately closes.
+	rawLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawLn.Close()
+	go func() {
+		c, err := rawLn.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	deadConn, err := net.Dial("tcp", rawLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deadConn.Close()
+	dw := &workerConn{conn: deadConn, br: bufio.NewReader(deadConn)}
+	if err := probeWorker(dw); err == nil {
+		t.Fatal("probe of a hung-up connection succeeded")
+	}
+
+	conn.Close()
+	cancel()
+	<-serveDone
+}
+
+// TestFrameCorruptionDetected pins the CRC trailer: an injected wire
+// corruption must surface as a checksum error at the receiver — never a
+// silently different payload.
+func TestFrameCorruptionDetected(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	payload := []byte{0, 0, 0, 1, 0, 0, 0, 2} // one edge, as frameGraph ships them
+	if err := failpoint.Enable(failpoint.DistFrameWrite, "corrupt*1"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameGraph, payload); err != nil {
+		t.Fatalf("writeFrame under corrupt mode = %v (corruption must be invisible to the sender)", err)
+	}
+	_, _, err := readFrame(bufio.NewReader(&buf))
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("readFrame of corrupted frame = %v, want checksum mismatch", err)
+	}
+
+	// Budget spent: the next frame round-trips clean on the same site.
+	buf.Reset()
+	if err := writeFrame(&buf, frameGraph, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(bufio.NewReader(&buf))
+	if err != nil || typ != frameGraph || !bytes.Equal(got, payload) {
+		t.Fatalf("clean frame after budget spent: typ=%d payload=%v err=%v", typ, got, err)
+	}
+}
+
+// TestFrameReadInjection: an armed read site fails the read before any
+// bytes are consumed.
+func TestFrameReadInjection(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, framePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable(failpoint.DistFrameRead, "error*1"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	if _, _, err := readFrame(br); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("readFrame with armed site = %v, want injected error", err)
+	}
+	// The failpoint fired before consuming input: the frame is still intact.
+	typ, _, err := readFrame(br)
+	if err != nil || typ != framePing {
+		t.Fatalf("frame after injection: typ=%d err=%v", typ, err)
+	}
+}

@@ -14,12 +14,17 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+
+	"subgraphmr/internal/failpoint"
 )
 
 // Frame types of the coordinator/worker wire protocol. Every message is a
-// length-prefixed frame: one type byte, a uvarint payload length, then the
-// payload. The payload serializations reuse the engine's codec idioms —
+// length-prefixed frame: one type byte, a uvarint payload length, the
+// payload, then a big-endian CRC-32 (IEEE) of the payload — so a byte
+// flipped on the wire surfaces as a typed checksum error (and a worker
+// retry) rather than silently decoding into a different job or graph. The payload serializations reuse the engine's codec idioms —
 // graphs ship as the two-uint32 big-endian edges of core's edge codec,
 // instances as uvarint node runs like the spill-run records.
 const (
@@ -38,8 +43,15 @@ const (
 	// frameError carries a textual worker-side failure; the job's instance
 	// frames are discarded.
 	frameError
+	// framePing is the coordinator's health probe (empty payload); a worker
+	// idle between jobs answers with framePong. The coordinator probes the
+	// survivors before each retry round, so a half-dead connection is
+	// discovered before a partition set is wasted on it.
+	framePing
+	// framePong is the worker's reply to framePing (empty payload).
+	framePong
 
-	frameTypeMax = frameError
+	frameTypeMax = framePong
 )
 
 // maxFramePayload bounds a single frame's payload. A corrupted or hostile
@@ -56,21 +68,35 @@ const readChunk = 1 << 20
 func appendFrame(dst []byte, typ byte, payload []byte) []byte {
 	dst = append(dst, typ)
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	return append(dst, payload...)
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 }
 
 // writeFrame writes one frame. The payload must not exceed maxFramePayload.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if err := failpoint.Eval(failpoint.DistFrameWrite); err != nil {
+		return err
+	}
 	if len(payload) > maxFramePayload {
 		return fmt.Errorf("distrib: frame payload %d bytes exceeds limit %d", len(payload), maxFramePayload)
 	}
+	sum := crc32.ChecksumIEEE(payload)
+	// The corrupt failpoint mangles the bytes after the checksum is taken,
+	// simulating on-the-wire corruption: the receiver's CRC check turns it
+	// into a typed error feeding the retry/degrade ladder.
+	wire := failpoint.Corrupt(failpoint.DistFrameWrite, payload)
 	var hdr [1 + binary.MaxVarintLen64]byte
 	hdr[0] = typ
-	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	n := binary.PutUvarint(hdr[1:], uint64(len(wire)))
 	if _, err := w.Write(hdr[:1+n]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	if _, err := w.Write(wire); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sum)
+	_, err := w.Write(tail[:])
 	return err
 }
 
@@ -79,6 +105,9 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 // bytes actually read, and reports a clean io.EOF only at a frame boundary
 // (mid-frame truncation is io.ErrUnexpectedEOF).
 func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	if err := failpoint.Eval(failpoint.DistFrameRead); err != nil {
+		return 0, nil, err
+	}
 	typ, err := br.ReadByte()
 	if err != nil {
 		return 0, nil, err // io.EOF here is a clean end of stream
@@ -110,6 +139,16 @@ func readFrame(br *bufio.Reader) (byte, []byte, error) {
 			}
 			return 0, nil, err
 		}
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(tail[:]) {
+		return 0, nil, fmt.Errorf("distrib: frame checksum mismatch (type %d, %d bytes)", typ, len(payload))
 	}
 	return typ, payload, nil
 }

@@ -128,8 +128,7 @@ func SpawnLocal(ctx context.Context, n int) (*Cluster, error) {
 		}
 		go io.Copy(io.Discard, stdout) // drain any later output
 
-		var d net.Dialer
-		conn, err := d.DialContext(ctx, "tcp", addr)
+		conn, err := dialRetry(ctx, addr)
 		if err != nil {
 			p.shutdown()
 			return fail(fmt.Errorf("distrib: dialing spawned worker %d: %w", i, err))

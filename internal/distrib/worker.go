@@ -87,6 +87,12 @@ func handleConn(ctx context.Context, conn net.Conn, exec Executor) {
 				writeFrame(conn, frameError, []byte(err.Error()))
 				return
 			}
+		case framePing:
+			// Coordinator health probe between jobs; any write failure
+			// drops the connection, which the prober reads as dead.
+			if err := writeFrame(conn, framePong, nil); err != nil {
+				return
+			}
 		case frameJob:
 			var req JobRequest
 			if err := decodeGob(payload, &req); err != nil {

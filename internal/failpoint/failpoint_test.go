@@ -1,0 +1,219 @@
+package failpoint
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestEvalDisarmedIsNil(t *testing.T) {
+	Reset()
+	for _, site := range Sites() {
+		if err := Eval(site); err != nil {
+			t.Fatalf("Eval(%s) with nothing armed = %v, want nil", site, err)
+		}
+	}
+}
+
+func TestEnableUnknownSite(t *testing.T) {
+	if err := Enable("no.such.site", "error"); err == nil {
+		t.Fatal("Enable of unknown site succeeded")
+	}
+}
+
+func TestEnableBadSpecs(t *testing.T) {
+	for _, spec := range []string{"", "bogus", "error*0", "error*-1", "error*x", "delay:", "delay:xyz", "delay:-5ms"} {
+		if err := Enable(SpillWrite, spec); err == nil {
+			t.Errorf("Enable(%q) succeeded, want error", spec)
+		}
+	}
+	if n := len(Active()); n != 0 {
+		t.Fatalf("bad specs armed %d sites: %v", n, Active())
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable(SpillWrite, "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Eval(SpillWrite)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), SpillWrite) {
+		t.Fatalf("error %q does not name the site", err)
+	}
+	// Other sites stay disarmed.
+	if err := Eval(SpillMerge); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestENOSPCMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable(SpillCreate, "enospc"); err != nil {
+		t.Fatal(err)
+	}
+	err := Eval(SpillCreate)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Eval = %v, want ErrInjected wrapping ENOSPC", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable(ReduceWorker, "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Eval did not panic")
+		}
+		if !strings.Contains(r.(string), ReduceWorker) {
+			t.Fatalf("panic %v does not name the site", r)
+		}
+	}()
+	Eval(ReduceWorker)
+}
+
+func TestDelayMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable(MapWorker, "delay:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Eval(MapWorker); err != nil {
+		t.Fatalf("delay mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay mode slept %v, want >= 30ms", d)
+	}
+}
+
+func TestFiringBudget(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable(DistDial, "error*2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Eval(DistDial); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d = %v, want injected", i+1, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Eval(DistDial); err != nil {
+			t.Fatalf("budget spent but Eval still fires: %v", err)
+		}
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	t.Cleanup(Reset)
+	Enable(SpillWrite, "error")
+	Enable(SpillMerge, "error")
+	Disable(SpillWrite)
+	if err := Eval(SpillWrite); err != nil {
+		t.Fatalf("disabled site still fires: %v", err)
+	}
+	if err := Eval(SpillMerge); err == nil {
+		t.Fatal("sibling site was disarmed by Disable")
+	}
+	Reset()
+	if err := Eval(SpillMerge); err != nil {
+		t.Fatalf("Reset left a site armed: %v", err)
+	}
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("Active after Reset = %v", got)
+	}
+}
+
+func TestEnableSpecs(t *testing.T) {
+	t.Cleanup(Reset)
+	err := EnableSpecs("mr.spill.write=enospc; distrib.dial=error*2, mr.map=delay:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"distrib.dial=error", "mr.map=delay:1ms", "mr.spill.write=enospc"}
+	got := Active()
+	if len(got) != len(want) {
+		t.Fatalf("Active = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Active = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnableSpecsMalformed(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := EnableSpecs("justasite"); err == nil {
+		t.Fatal("entry without '=' accepted")
+	}
+	if err := EnableSpecs("mr.spill.write=error;bad"); err == nil {
+		t.Fatal("trailing malformed entry accepted")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	t.Cleanup(Reset)
+	payload := []byte{1, 2, 3, 4}
+	if got := Corrupt(DistFrameWrite, payload); !bytes.Equal(got, payload) {
+		t.Fatalf("disarmed Corrupt changed payload: %v", got)
+	}
+	if err := Enable(DistFrameWrite, "corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	got := Corrupt(DistFrameWrite, payload)
+	if bytes.Equal(got, payload) {
+		t.Fatal("armed Corrupt returned identical bytes")
+	}
+	if !bytes.Equal(payload, []byte{1, 2, 3, 4}) {
+		t.Fatalf("Corrupt mutated its input: %v", payload)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("Corrupt changed length: %d -> %d", len(payload), len(got))
+	}
+	// Empty payloads still become detectably different.
+	if got := Corrupt(DistFrameWrite, nil); len(got) == 0 {
+		t.Fatal("Corrupt of empty payload returned empty")
+	}
+	// corrupt mode never injects through Eval.
+	if err := Eval(DistFrameWrite); err != nil {
+		t.Fatalf("Eval under corrupt mode = %v, want nil", err)
+	}
+}
+
+func TestCorruptRespectsBudget(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable(DistFrameWrite, "corrupt*1"); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{9, 9}
+	if got := Corrupt(DistFrameWrite, payload); bytes.Equal(got, payload) {
+		t.Fatal("first firing did not corrupt")
+	}
+	if got := Corrupt(DistFrameWrite, payload); !bytes.Equal(got, payload) {
+		t.Fatal("budget-spent firing still corrupted")
+	}
+}
+
+func TestReEnableReplacesSpec(t *testing.T) {
+	t.Cleanup(Reset)
+	Enable(SpillWrite, "error*1")
+	Eval(SpillWrite) // spend the budget
+	if err := Enable(SpillWrite, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval(SpillWrite); !errors.Is(err, ErrInjected) {
+		t.Fatal("re-Enable did not refresh the site")
+	}
+	if got := len(Active()); got != 1 {
+		t.Fatalf("re-Enable double-counted: %d active", got)
+	}
+}

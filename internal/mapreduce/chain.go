@@ -42,9 +42,15 @@ type Chain struct {
 func NewChain(cfg Config) *Chain { return &Chain{Cfg: cfg} }
 
 // RunRound executes j as the chain's next round and returns its outputs.
+// Like Job.Run, it has no error return, so an engine failure panics here
+// instead of yielding a silent partial result; cancellable callers that
+// want the typed error use RunRoundContext.
 func RunRound[I any, K comparable, V any, O any](c *Chain, j Job[I, K, V, O], inputs []I) []O {
 	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use RunRoundContext
-	outs, _ := RunRoundContext(context.Background(), c, j, inputs)
+	outs, err := RunRoundContext(context.Background(), c, j, inputs)
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: %v (use RunRoundContext to receive the error)", err))
+	}
 	return outs
 }
 

@@ -106,6 +106,11 @@ func codecFor[T any]() (func([]byte, T) []byte, func([]byte) (T, error)) {
 		enc := func(dst []byte, v T) []byte {
 			out, err := binary.Append(dst, binary.BigEndian, v)
 			if err != nil {
+				// Unreachable on this path: binary.Size(zero) >= 0 above
+				// proved T is a fixed-size type, and binary.Append only
+				// fails for types binary.Size rejects. (Were it reached,
+				// the engine's per-worker recovery would still convert it
+				// into a typed *EngineError rather than crash the run.)
 				panic(fmt.Sprintf("mapreduce: binary-encoding %T: %v", v, err))
 			}
 			return out
@@ -120,6 +125,13 @@ func codecFor[T any]() (func([]byte, T) []byte, func([]byte) (T, error)) {
 	enc := func(dst []byte, v T) []byte {
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+			// Reachable for non-gob-encodable value types (chans, funcs,
+			// no exported fields) — a Job construction bug, not a runtime
+			// condition. The Append* interface has no error return, so
+			// this panics; it fires inside a reduce worker's spill, where
+			// the engine's per-worker recovery converts it into a typed
+			// *EngineError with clean spill teardown (pinned by
+			// TestSpillUnencodableValueTypedError).
 			panic(fmt.Sprintf("mapreduce: gob-encoding %T: %v", v, err))
 		}
 		return append(dst, buf.Bytes()...)

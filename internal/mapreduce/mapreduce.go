@@ -34,6 +34,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"subgraphmr/internal/failpoint"
 )
 
 // Metrics aggregates the cost measures of one map-reduce job.
@@ -165,7 +167,9 @@ type Config struct {
 	// itself huge should aggregate or count in the reducer instead of
 	// materializing (cf. core's CountOnly). Outputs and the core metrics
 	// are identical to the in-memory path; the Spill* metrics record the
-	// extra I/O. Spill I/O failures panic in Run with a descriptive error.
+	// extra I/O. Spill I/O failures surface as a typed *EngineError from
+	// RunContext/RunStream (the ctx-less Run, having no error return,
+	// panics on them — see its doc).
 	MemoryBudget int64
 	// SpillDir is the directory for spill run files; "" means the system
 	// temp dir. Only used when MemoryBudget is set.
@@ -239,9 +243,16 @@ func partitionIndex[K comparable](partition Partitioner[K], k K, p int) int {
 // hash-partitioned and streamed to the reduce workers (combined first when
 // a Combiner is set), and Reduce is applied to each key group. It returns
 // the reducer outputs (in no particular order) and the job metrics.
+//
+// Run has no error return, so an engine failure (spill I/O, a recovered
+// worker panic) panics here rather than yielding a silent partial result;
+// callers that want the typed *EngineError use RunContext.
 func (j Job[I, K, V, O]) Run(cfg Config, inputs []I) ([]O, Metrics) {
 	//lint:allow ctxhygiene ctx-less convenience wrapper; cancellable callers use RunContext
-	out, m, _ := j.RunContext(context.Background(), cfg, inputs)
+	out, m, err := j.RunContext(context.Background(), cfg, inputs)
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: %v (use RunContext to receive the error)", err))
+	}
 	return out, m
 }
 
@@ -399,6 +410,29 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 		rwg.Add(1)
 		go func(p int) {
 			defer rwg.Done()
+			// fail records a typed worker error and keeps draining the
+			// partition channel so mappers never block on a dead partition
+			// (recycling the drained batches as usual).
+			fail := func(stage string, cause error) {
+				errs[p] = engineErr(stage, j.Name, cause)
+				stop.Store(true)
+				for batch := range chans[p] {
+					flist.put(batch)
+				}
+			}
+			// A panicking reducer (or spill codec) is recovered once per
+			// worker and converted to the same typed error. The spiller's
+			// cleanup defer below is registered later, so it has already
+			// removed the run files by the time this recovery runs.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(StageReduce, fmt.Errorf("recovered panic: %v", r))
+				}
+			}()
+			if err := failpoint.Eval(failpoint.ReduceWorker); err != nil {
+				fail(StageReduce, err)
+				return
+			}
 			var (
 				sp     *spiller[K, V]
 				groups map[K][]V         // budgeted (spillable) path
@@ -433,10 +467,7 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 					est += spillPairOverhead + int64(vsize(kv.val))
 					if est > budget {
 						if err := sp.spill(groups); err != nil {
-							errs[p] = err
-							stop.Store(true)
-							for range chans[p] { // unblock mappers
-							}
+							fail(StageSpill, err)
 							return
 						}
 						groups = make(map[K][]V)
@@ -455,7 +486,7 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 			if sp != nil && len(sp.paths) > 0 {
 				if len(groups) > 0 {
 					if err := sp.spill(groups); err != nil {
-						errs[p] = err
+						fail(StageSpill, err)
 						return
 					}
 					groups = nil
@@ -468,7 +499,7 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 					return true
 				})
 				if err != nil {
-					errs[p] = err
+					fail(StageSpill, err)
 					return
 				}
 				distinct[p], maxIn[p] = d, mi
@@ -503,6 +534,7 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 	// Map workers: each owns a contiguous shard of the inputs and streams
 	// batches into the partition channels.
 	shipped := make([]int64, nm)
+	merrs := make([]error, nm)
 	var mwg sync.WaitGroup
 	chunk := (len(inputs) + nm - 1) / nm
 	if chunk < 1 {
@@ -520,6 +552,20 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 		mwg.Add(1)
 		go func(w, lo, hi int) {
 			defer mwg.Done()
+			// A panicking mapper is recovered once per worker; buffered
+			// batches are dropped (nobody will reduce them) and the reduce
+			// workers see stop and drain.
+			defer func() {
+				if r := recover(); r != nil {
+					merrs[w] = engineErr(StageMap, j.Name, fmt.Errorf("recovered panic: %v", r))
+					stop.Store(true)
+				}
+			}()
+			if err := failpoint.Eval(failpoint.MapWorker); err != nil {
+				merrs[w] = engineErr(StageMap, j.Name, err)
+				stop.Store(true)
+				return
+			}
 			batch := cfg.batchSize()
 			bufs := make([][]pair[K, V], np)
 			ship := func(k K, v V) {
@@ -613,9 +659,22 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 	}
 	rwg.Wait()
 
+	// First worker failure wins, reduce side before map side (the spill
+	// path carries the richer diagnosis when several workers raced to set
+	// stop).
+	var jobErr error
 	for p := 0; p < np; p++ {
 		if errs[p] != nil {
-			panic(fmt.Sprintf("mapreduce: external shuffle failed: %v", errs[p]))
+			jobErr = errs[p]
+			break
+		}
+	}
+	if jobErr == nil {
+		for w := 0; w < nm; w++ {
+			if merrs[w] != nil {
+				jobErr = merrs[w]
+				break
+			}
 		}
 	}
 	var metrics Metrics
@@ -633,6 +692,11 @@ func (j Job[I, K, V, O]) RunStream(ctx context.Context, cfg Config, inputs []I, 
 		metrics.SpillFiles += spills[p].SpillFiles
 	}
 	metrics.Outputs = yielded
+	if jobErr != nil {
+		// A worker failure outranks cancellation: a real fault must not
+		// be reported as a mere ctx.Err().
+		return metrics, jobErr
+	}
 	if err := ctx.Err(); err != nil {
 		return metrics, err
 	}

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"subgraphmr/internal/failpoint"
 )
 
 // The external shuffle. When Config.MemoryBudget is set, each reduce worker
@@ -84,6 +86,19 @@ func (s *spiller[K, V]) spill(groups map[K][]V) error {
 	if err != nil {
 		return fmt.Errorf("mapreduce: creating spill file: %w", err)
 	}
+	// Until the run is committed to s.paths, this defer owns the file: an
+	// error return or a panic mid-encode (the gob fallback on an
+	// unencodable value, an injected fault) must not orphan it.
+	committed := false
+	defer func() {
+		if !committed {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	if err := failpoint.Eval(failpoint.SpillCreate); err != nil {
+		return fmt.Errorf("mapreduce: creating spill file: %w", err)
+	}
 	w := &runWriter{bw: bufio.NewWriterSize(f, 1<<16)}
 	var scratch []byte
 	for _, e := range entries {
@@ -95,15 +110,18 @@ func (s *spiller[K, V]) spill(groups map[K][]V) error {
 		}
 		s.pairs += int64(len(e.vs))
 	}
-	err = w.flush()
+	err = failpoint.Eval(failpoint.SpillWrite)
+	if err == nil {
+		err = w.flush()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(f.Name())
 		return fmt.Errorf("mapreduce: writing spill file: %w", err)
 	}
 	s.paths = append(s.paths, f.Name())
+	committed = true
 	s.bytes += w.n
 	s.runs++
 	return nil
@@ -115,6 +133,9 @@ func (s *spiller[K, V]) spill(groups map[K][]V) error {
 // A false return from reduce aborts the merge early (the group counted
 // against distinct/maxIn is the one the callback declined).
 func (s *spiller[K, V]) mergeReduce(reduce func(k K, vs []V) bool) (distinct, maxIn int64, err error) {
+	if err := failpoint.Eval(failpoint.SpillMerge); err != nil {
+		return 0, 0, fmt.Errorf("mapreduce: merging spill runs: %w", err)
+	}
 	// Intermediate passes: fold the oldest mergeFanIn runs into one until
 	// the final merge fits the fan-in cap.
 	for len(s.paths) > mergeFanIn {
@@ -174,12 +195,22 @@ func (s *spiller[K, V]) compact(paths []string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("mapreduce: creating spill file: %w", err)
 	}
+	// As in spill: the defer owns the file until the caller can, so error
+	// returns and panics never orphan a half-compacted run.
+	committed := false
+	defer func() {
+		if !committed {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	if err := failpoint.Eval(failpoint.SpillCreate); err != nil {
+		return "", fmt.Errorf("mapreduce: creating spill file: %w", err)
+	}
 	w := &runWriter{bw: bufio.NewWriterSize(f, 1<<16)}
 	for {
 		kb, vals, ok, err := m.nextGroup()
 		if err != nil {
-			f.Close()
-			os.Remove(f.Name())
 			return "", err
 		}
 		if !ok {
@@ -196,9 +227,9 @@ func (s *spiller[K, V]) compact(paths []string) (string, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(f.Name())
 		return "", fmt.Errorf("mapreduce: writing spill file: %w", err)
 	}
+	committed = true
 	s.bytes += w.n
 	s.runs++
 	return f.Name(), nil

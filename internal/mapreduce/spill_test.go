@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -255,20 +257,31 @@ func TestSpillChain(t *testing.T) {
 }
 
 // TestSpillBadDir checks the documented failure mode: an unusable spill
-// directory panics Run with a descriptive error.
+// directory surfaces as a typed *EngineError at the spill stage from
+// RunContext, and panics the ctx-less Run wrapper with a pointer to it.
 func TestSpillBadDir(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected Run to panic on an unusable spill dir")
-		}
-		if !strings.Contains(fmt.Sprint(r), "external shuffle failed") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
-	spillJob().Run(Config{
+	badCfg := Config{
 		Parallelism:  1,
 		MemoryBudget: 64,
 		SpillDir:     filepath.Join(os.TempDir(), "sgmr-definitely-missing", "nested"),
-	}, corpus(100))
+	}
+	_, _, err := spillJob().RunContext(context.Background(), badCfg, corpus(100))
+	var ee *EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("RunContext with unusable spill dir returned %v (%T), want *EngineError", err, err)
+	}
+	if ee.Stage != StageSpill {
+		t.Fatalf("Stage = %q, want %q", ee.Stage, StageSpill)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected ctx-less Run to panic on an unusable spill dir")
+		}
+		if !strings.Contains(fmt.Sprint(r), "use RunContext") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	spillJob().Run(badCfg, corpus(100))
 }

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"subgraphmr"
+	"subgraphmr/internal/failpoint"
 )
 
 // Config configures a Server. Zero values pick the documented defaults.
@@ -32,6 +35,10 @@ type Config struct {
 	// response body (default 1000); streaming responses are unbounded —
 	// they never accumulate.
 	MaxBodyInstances int
+	// QueryTimeout is the per-query deadline, covering admission queueing
+	// and execution: a query past it is cancelled (the engine tears down
+	// through the context) and answered with 504. 0 disables the deadline.
+	QueryTimeout time.Duration
 }
 
 // Server is the resident query service: immutable shared graphs, a plan
@@ -96,15 +103,33 @@ func (s *Server) Stats() *Stats { return s.stats }
 // cancel them via their request contexts (http.Server shutdown does).
 func (s *Server) Close() { s.stats.Close() }
 
-// queryError is the JSON error body.
+// queryError is the JSON error body. Stage and Job are set when the
+// failure is a typed engine error, so a spill ENOSPC is distinguishable
+// from a worker panic without grepping server logs.
 type queryError struct {
 	Error string `json:"error"`
+	Stage string `json:"stage,omitempty"`
+	Job   string `json:"job,omitempty"`
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(queryError{Error: fmt.Sprintf(format, args...)})
+}
+
+// failEngine maps an execution failure to a structured 500: an
+// *EngineError body carries its stage and job. The service itself stays
+// healthy — engine failures are per-query, so /healthz remains green.
+func (s *Server) failEngine(w http.ResponseWriter, err error) {
+	var ee *subgraphmr.EngineError
+	if errors.As(err, &ee) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(queryError{Error: "execution failed: " + ee.Error(), Stage: ee.Stage, Job: ee.Job})
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, "execution failed: %v", err)
 }
 
 // queryResponse is the non-streaming JSON response body.
@@ -208,7 +233,16 @@ var strategyNames = map[string]subgraphmr.PlanStrategy{
 // Instances/Stream machinery under the request context — a client
 // disconnect cancels the context and tears the engine down.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// The query context layers the per-query deadline over the request
+	// context: a client disconnect and a deadline expiry both cancel the
+	// engine, but they are told apart below (r.Context() vs ctx) so only
+	// the latter writes a 504.
 	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
 	q := r.URL.Query()
 	s.stats.Count("sgmr.queries", 1)
 
@@ -238,10 +272,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	planStart := time.Now()
 	key := subgraphmr.QueryKey(graphName, smp, opts...)
 	plan, cached, err := s.cache.Get(key, func() (*subgraphmr.QueryPlan, error) {
+		if err := failpoint.Eval(failpoint.ServeCacheFill); err != nil {
+			return nil, err
+		}
 		return subgraphmr.Plan(g, smp, opts...)
 	})
 	if err != nil {
 		s.stats.Count("sgmr.queries.errors", 1)
+		// A planner rejection is the client's fault (400); an injected
+		// fill failure stands in for infrastructure trouble (500). Either
+		// way the failure is not cached — the next request replans.
+		if errors.Is(err, failpoint.ErrInjected) {
+			s.fail(w, http.StatusInternalServerError, "planning failed: %v", err)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "planning failed: %v", err)
 		return
 	}
@@ -255,6 +299,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: price the query's predicted reduce-side footprint against
 	// the global pool before any engine work starts.
+	if err := failpoint.Eval(failpoint.ServeAdmission); err != nil {
+		s.stats.Count("sgmr.queries.errors", 1)
+		s.fail(w, http.StatusServiceUnavailable, "admission: %v", err)
+		return
+	}
 	release, err := s.pool.Acquire(ctx, plan.Chosen.EstShuffleBytes)
 	if err != nil {
 		if err == ErrRejected {
@@ -262,14 +311,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusTooManyRequests, "admission rejected: pool exhausted and queue full (predicted %d bytes)", plan.Chosen.EstShuffleBytes)
 			return
 		}
-		s.stats.Count("sgmr.queries.cancelled", 1) // disconnected while queued
+		if r.Context().Err() != nil {
+			s.stats.Count("sgmr.queries.cancelled", 1) // disconnected while queued
+			return
+		}
+		// Deadline expired while queued: the client is still there, so it
+		// gets the 504 rather than silence.
+		s.stats.Count("sgmr.queries.timeout", 1)
+		s.fail(w, http.StatusGatewayTimeout, "query deadline exceeded while queued for admission (timeout %s)", s.cfg.QueryTimeout)
 		return
 	}
 	defer release()
 
 	execStart := time.Now()
 	if q.Get("stream") == "1" {
-		s.streamQuery(w, r, plan, cacheState)
+		s.streamQuery(ctx, w, r, plan, cacheState)
 		return
 	}
 
@@ -289,12 +345,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return true
 	})
 	if err != nil {
-		if ctx.Err() != nil {
+		if r.Context().Err() != nil {
 			s.stats.Count("sgmr.queries.cancelled", 1)
 			return // client is gone; nothing to write
 		}
+		if ctx.Err() != nil {
+			s.stats.Count("sgmr.queries.timeout", 1)
+			s.fail(w, http.StatusGatewayTimeout, "query deadline exceeded (timeout %s)", s.cfg.QueryTimeout)
+			return
+		}
 		s.stats.Count("sgmr.queries.errors", 1)
-		s.fail(w, http.StatusInternalServerError, "execution failed: %v", err)
+		s.failEngine(w, err)
 		return
 	}
 	execMs := float64(time.Since(execStart).Microseconds()) / 1000
@@ -319,20 +380,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamLine is one NDJSON line of a streaming response: instance lines
-// first, a final summary line with Count set.
+// first, a final summary line with Count set. A failed run ends with an
+// Error line instead (Stage/Job set for typed engine errors) — the client
+// must treat any already-received instances as partial and discard them.
 type streamLine struct {
 	Instance []subgraphmr.Node `json:"instance,omitempty"`
 	Count    *int64            `json:"count,omitempty"`
 	Cache    string            `json:"cache,omitempty"`
 	Error    string            `json:"error,omitempty"`
+	Stage    string            `json:"stage,omitempty"`
+	Job      string            `json:"job,omitempty"`
 }
 
 // streamQuery delivers instances as NDJSON at the consumer's pace: each
 // write rides the engine's backpressured yield, a failed write (client
-// disconnect) stops the enumeration, and the request context cancels it
-// from the transport side.
-func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, plan *subgraphmr.QueryPlan, cacheState string) {
-	ctx := r.Context()
+// disconnect) stops the enumeration, and ctx (request context plus the
+// per-query deadline) cancels it from the transport side.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http.Request, plan *subgraphmr.QueryPlan, cacheState string) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -348,12 +412,24 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, plan *subgr
 		return true
 	})
 	if err != nil {
-		if ctx.Err() != nil {
+		if r.Context().Err() != nil {
 			s.stats.Count("sgmr.queries.cancelled", 1)
 			return
 		}
+		if ctx.Err() != nil {
+			// Mid-stream the status line is already out; the deadline is
+			// reported as the terminal NDJSON line instead of a 504.
+			s.stats.Count("sgmr.queries.timeout", 1)
+			enc.Encode(streamLine{Error: fmt.Sprintf("query deadline exceeded (timeout %s)", s.cfg.QueryTimeout)})
+			return
+		}
 		s.stats.Count("sgmr.queries.errors", 1)
-		enc.Encode(streamLine{Error: err.Error()})
+		line := streamLine{Error: err.Error()}
+		var ee *subgraphmr.EngineError
+		if errors.As(err, &ee) {
+			line.Stage, line.Job = ee.Stage, ee.Job
+		}
+		enc.Encode(line)
 		return
 	}
 	s.recordResult(res, 0, float64(time.Since(start).Microseconds())/1000)

@@ -2,6 +2,7 @@ package subgraphmr
 
 import (
 	"context"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -128,19 +129,22 @@ func TestEveryPathHonorsMemoryBudget(t *testing.T) {
 
 // TestEveryPathHonorsSpillDir proves SpillDir is plumbed through every
 // path by pointing it at a nonexistent directory: the engine's documented
-// response to unusable spill storage is a panic, so a path that doesn't
-// panic is ignoring the option.
+// response to unusable spill storage is a typed *EngineError at the spill
+// stage, so a path that succeeds (or panics) is ignoring the option.
 func TestEveryPathHonorsSpillDir(t *testing.T) {
 	ctx := context.Background()
 	g := Gnm(120, 500, 9)
 	badDir := filepath.Join(t.TempDir(), "does", "not", "exist")
-	expectPanic := func(label string, run func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: no panic with an unusable spill dir — SpillDir is not reaching this path", label)
-			}
-		}()
-		run()
+	expectEngineError := func(label string, err error) {
+		t.Helper()
+		var ee *EngineError
+		if !errors.As(err, &ee) {
+			t.Errorf("%s: error %v (%T) with an unusable spill dir — want *EngineError; SpillDir is not reaching this path", label, err, err)
+			return
+		}
+		if ee.Stage != "spill" {
+			t.Errorf("%s: EngineError stage %q, want %q", label, ee.Stage, "spill")
+		}
 	}
 	for _, st := range allPlanStrategies {
 		plan, err := Plan(g, Triangle(), WithStrategy(st), WithTargetReducers(64),
@@ -148,14 +152,14 @@ func TestEveryPathHonorsSpillDir(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", st, err)
 		}
-		expectPanic(st.String(), func() { _, _ = Run(ctx, plan) })
+		_, err = Run(ctx, plan)
+		expectEngineError(st.String(), err)
 	}
 	dg := RandomDiGraph(80, 400, 2, 5)
-	expectPanic("directed", func() {
-		_, _ = EnumerateDirected(dg, DirectedCyclePattern(3, 0), DirectedOptions{
-			Buckets: 4, MemoryBudget: 1024, SpillDir: badDir,
-		})
+	_, err := EnumerateDirected(dg, DirectedCyclePattern(3, 0), DirectedOptions{
+		Buckets: 4, MemoryBudget: 1024, SpillDir: badDir,
 	})
+	expectEngineError("directed", err)
 }
 
 // TestEveryPathIsSeedDeterministic runs each path twice with the same seed
