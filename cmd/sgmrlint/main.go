@@ -4,19 +4,23 @@
 // cooperative stop contract). See internal/lint for the analyzers and
 // docs/ARCHITECTURE.md for the rationale behind each rule.
 //
-// It runs two ways:
+// It runs three ways:
 //
-//	sgmrlint [packages]           # standalone, e.g. sgmrlint ./...
+//	sgmrlint [-json] [packages]   # standalone, e.g. sgmrlint ./...
+//	sgmrlint -escapes [packages]  # escape gate: -gcflags=-m over //lint:hotpath
 //	go vet -vettool=$(which sgmrlint) ./...
 //
 // The vettool form speaks cmd/go's unitchecker protocol (-V=full, -flags,
 // one .cfg per package), so findings come out with go vet's caching and
-// per-package scheduling. Both forms exit 1 when there are findings and
-// print them as file:line:col: message (analyzer).
+// per-package scheduling. All forms exit 1 when there are unsuppressed
+// findings; the default rendering is file:line:col: message (analyzer),
+// and -json switches to one array of {file,line,col,analyzer,message,
+// suppressed} objects on stdout.
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -49,20 +53,69 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return runUnit(arg, stderr)
 		}
 	}
+	// Tool modes. Flags may precede the package patterns in any order.
+	var jsonOut, escapes bool
+	patterns := make([]string, 0, len(args))
+	for _, arg := range args {
+		switch arg {
+		case "-json", "--json":
+			jsonOut = true
+		case "-escapes", "--escapes":
+			escapes = true
+		default:
+			if strings.HasPrefix(arg, "-") {
+				fmt.Fprintf(stderr, "sgmrlint: unknown flag %s (see sgmrlint help)\n", arg)
+				return 2
+			}
+			patterns = append(patterns, arg)
+		}
+	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(stderr, "sgmrlint:", err)
 		return 2
 	}
-	diags, err := driver.Standalone(cwd, args...)
+	var findings []driver.Finding
+	if escapes {
+		findings, err = driver.EscapeGate(cwd, patterns...)
+	} else {
+		findings, err = driver.Standalone(cwd, patterns...)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "sgmrlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stderr, d)
+	return report(findings, jsonOut, stdout, stderr)
+}
+
+// report renders the findings and picks the exit code. Suppressed findings
+// appear only in -json output (marked) and never affect the exit code.
+func report(findings []driver.Finding, jsonOut bool, stdout, stderr io.Writer) int {
+	failed := false
+	for _, f := range findings {
+		if !f.Suppressed {
+			failed = true
+		}
 	}
-	if len(diags) > 0 {
+	if jsonOut {
+		if findings == nil {
+			findings = []driver.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "sgmrlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			fmt.Fprintln(stderr, f)
+		}
+	}
+	if failed {
 		return 1
 	}
 	return 0
@@ -104,8 +157,10 @@ func printVersion(stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "sgmrlint checks subgraphmr's engine invariants.")
-	fmt.Fprintln(w, "\nUsage:\n\n\tsgmrlint [packages]\t\te.g. sgmrlint ./...")
+	fmt.Fprintln(w, "\nUsage:\n\n\tsgmrlint [-json] [packages]\te.g. sgmrlint ./...")
+	fmt.Fprintln(w, "\tsgmrlint -escapes [packages]\tcompile with -gcflags=-m and fail on heap escapes inside //lint:hotpath functions")
 	fmt.Fprintln(w, "\tgo vet -vettool=$(command -v sgmrlint) [packages]")
+	fmt.Fprintln(w, "\n-json prints findings (suppressed ones included, marked) as a JSON array on stdout.")
 	fmt.Fprintln(w, "\nAnalyzers:")
 	for _, a := range lint.All() {
 		fmt.Fprintf(w, "\n%s:\n\t%s\n", a.Name, a.Doc)

@@ -14,10 +14,12 @@ import (
 // bucket jobs spill millions of edges on large graphs.
 type edgeCodec struct{}
 
+//lint:hotpath
 func (edgeCodec) AppendKey(dst []byte, k string) []byte { return append(dst, k...) }
 
 func (edgeCodec) DecodeKey(src []byte) (string, error) { return string(src), nil }
 
+//lint:hotpath
 func (edgeCodec) AppendValue(dst []byte, e graph.Edge) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(e.U))
 	return binary.BigEndian.AppendUint32(dst, uint32(e.V))

@@ -208,6 +208,8 @@ func (ev *Evaluator) extend(local *graph.Sparse, less graph.Less, sc *scratch, s
 // assignment, using the scratch buffers: the variables are insertion-sorted
 // by their images under less and the resulting order is looked up in the
 // CQ's accepted-order set without allocating.
+//
+//lint:hotpath
 func (ev *Evaluator) finalCheck(sc *scratch, less graph.Less) bool {
 	if ev.q.Orderings == nil {
 		return true // constraint mode: everything verified incrementally

@@ -121,6 +121,8 @@ func DecodeGraph(payload []byte) (*graph.Graph, error) {
 // appendInstances serializes a batch of instances for a frameInstances
 // payload: uvarint batch count, then per instance a uvarint node count and
 // that many uvarint node ids (spill-run style length-prefixed records).
+//
+//lint:hotpath
 func appendInstances(dst []byte, batch [][]graph.Node) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(batch)))
 	for _, phi := range batch {

@@ -39,6 +39,7 @@ func IsSpawnedWorker() bool { return os.Getenv(SpawnEnv) != "" }
 // until its stdin closes — which happens when the parent shuts the cluster
 // down or dies, so an orphaned worker never outlives its coordinator.
 func RunSpawnedWorker(exec Executor) error {
+	//lint:allow failcover worker-process bootstrap before the transport exists; a listen failure surfaces to the parent as a spawn failure, which the kill fault already covers
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -110,12 +111,14 @@ func SpawnLocal(ctx context.Context, n int) (*Cluster, error) {
 		if err != nil {
 			return fail(err)
 		}
+		//lint:allow failcover host-level process spawn in the test/ops harness; the chaos matrix injects worker death via kill after spawn, not spawn failure
 		if err := cmd.Start(); err != nil {
 			return fail(err)
 		}
 		p := &spawnedWorker{cmd: cmd, stdin: stdin, done: make(chan struct{})}
 		liveSpawned.Add(1)
 		go func() {
+			//lint:allow failcover reaper: the exit status is deliberately discarded; worker death itself is the injected fault (kill), observed through the transport
 			cmd.Wait()
 			liveSpawned.Add(-1)
 			close(p.done)

@@ -78,6 +78,8 @@ func (g *Graph) Neighbors(u Node) []Node { return g.nbr[g.off[u]:g.off[u+1]] }
 
 // HasEdge reports whether the undirected edge {u, v} is present. It binary
 // searches the smaller endpoint's sorted adjacency list and never allocates.
+//
+//lint:hotpath
 func (g *Graph) HasEdge(u, v Node) bool {
 	if u == v {
 		return false
@@ -101,6 +103,8 @@ func (g *Graph) CommonNeighbors(u, v Node, dst []Node) []Node {
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // containsSorted reports whether v occurs in the ascending list.
+//
+//lint:hotpath
 func containsSorted(list []Node, v Node) bool {
 	lo, hi := 0, len(list)
 	for lo < hi {
@@ -119,6 +123,8 @@ func containsSorted(list []Node, v Node) bool {
 // one list is much shorter it binary-searches the short list into the long
 // one instead, so intersecting against a hub's adjacency costs
 // O(short·log(long)) rather than O(long).
+//
+//lint:hotpath
 func IntersectSorted(a, b []Node, dst []Node) []Node {
 	if len(a) > len(b) {
 		a, b = b, a

@@ -13,12 +13,25 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowEntry is one well-formed //lint:allow directive. used flips when it
+// suppresses a diagnostic; a directive that suppresses nothing is stale —
+// the code it excused was fixed or deleted — and stale audit notes are
+// worse than none, so it becomes a diagnostic itself.
+type allowEntry struct {
+	pos      token.Pos
+	analyzer string
+	used     bool
+}
+
 // directives is the parsed //lint: directive state for one unit.
 type directives struct {
-	// allow marks lines whose diagnostics from a given analyzer are
-	// suppressed. A directive suppresses its own line and, when it is
-	// the only thing on its line, the line below it.
-	allow map[allowKey]bool
+	// allow maps lines whose diagnostics from a given analyzer are
+	// suppressed to the directive that grants it. A directive suppresses
+	// its own line and, when it is the only thing on its line, the line
+	// below it.
+	allow map[allowKey]*allowEntry
+	// entries are the well-formed directives, in source order.
+	entries []*allowEntry
 	// problems are directive-hygiene diagnostics: //lint:allow without
 	// an analyzer name or reason, or naming an analyzer that does not
 	// exist. A suppression that silently matches nothing is worse than
@@ -30,7 +43,7 @@ type directives struct {
 // //lint:deterministic directives. Other //lint: verbs (e.g. staticcheck's
 // //lint:ignore) belong to other tools and are left alone.
 func collectDirectives(u *Unit) *directives {
-	d := &directives{allow: make(map[allowKey]bool)}
+	d := &directives{allow: make(map[allowKey]*allowEntry)}
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -73,27 +86,54 @@ func (d *directives) parseComment(fset *token.FileSet, c *ast.Comment) {
 		})
 		return
 	}
-	d.allow[allowKey{pos.Filename, pos.Line, name}] = true
+	entry := &allowEntry{pos: c.Slash, analyzer: name}
+	d.entries = append(d.entries, entry)
+	d.allow[allowKey{pos.Filename, pos.Line, name}] = entry
 	// A directive alone on its line (column 1 after indentation — no
 	// code before the comment) also covers the next line, the usual
 	// "comment above the statement" placement. We approximate "alone on
 	// its line" by suppressing the next line unconditionally: a trailing
 	// directive's own line has the flagged code, so the extra next-line
 	// grant is harmless, and it keeps the rule easy to state.
-	d.allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+	d.allow[allowKey{pos.Filename, pos.Line + 1, name}] = entry
 }
 
-// filter drops diagnostics covered by an allow directive.
-func (d *directives) filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
-	kept := diags[:0]
-	for _, diag := range diags {
-		pos := fset.Position(diag.Pos)
-		if d.allow[allowKey{pos.Filename, pos.Line, diag.Analyzer}] {
+// mark flags diagnostics covered by an allow directive as suppressed and
+// records which directives earned their keep.
+func (d *directives) mark(fset *token.FileSet, diags []Diagnostic) {
+	for i := range diags {
+		pos := fset.Position(diags[i].Pos)
+		if entry := d.allow[allowKey{pos.Filename, pos.Line, diags[i].Analyzer}]; entry != nil {
+			diags[i].Suppressed = true
+			entry.used = true
+		}
+	}
+}
+
+// stale reports each well-formed directive that suppressed nothing this
+// run, provided its analyzer actually ran (a single-analyzer fixture run
+// must not condemn another analyzer's directives). hotalloc is exempt:
+// its escape diagnostics come from the separate `sgmrlint -escapes`
+// compiler gate, so an AST-mode run cannot tell a live hotalloc allow
+// from a dead one.
+func (d *directives) stale(analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, e := range d.entries {
+		if e.used || !ran[e.analyzer] || e.analyzer == HotAlloc.Name {
 			continue
 		}
-		kept = append(kept, diag)
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "sgmrlint",
+			Message: "stale //lint:allow " + e.analyzer +
+				": it suppresses no diagnostic; the excused code was fixed or removed — delete the directive",
+		})
 	}
-	return kept
+	return out
 }
 
 // hasDeterministicDirective reports whether the function's doc comment

@@ -63,7 +63,28 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts  *FactSet
 	report func(Diagnostic)
+}
+
+// ExportFact publishes a JSON-serializable fact under this package and
+// analyzer. Passes running later — on this unit or on any unit that
+// (transitively) imports this package — can read it back with ImportFact.
+func (p *Pass) ExportFact(name string, v any) error {
+	return p.facts.export(p.Path, p.Analyzer.Name, name, v)
+}
+
+// ImportFact decodes the fact this analyzer exported for pkgPath into
+// into, reporting whether it exists. Visibility is transitive: the
+// drivers re-export everything a unit imports (see FactSet).
+func (p *Pass) ImportFact(pkgPath, name string, into any) bool {
+	return p.facts.lookup(pkgPath, p.Analyzer.Name, name, into)
+}
+
+// FactPackages returns the package paths that exported this analyzer's
+// fact name, in sorted order.
+func (p *Pass) FactPackages(name string) []string {
+	return p.facts.packages(p.Analyzer.Name, name)
 }
 
 // Reportf records a diagnostic at pos.
@@ -81,18 +102,43 @@ func (p *Pass) Filename(pos token.Pos) string {
 }
 
 // A Diagnostic is one finding, attributed to the analyzer that produced it.
+// Suppressed marks findings a //lint:allow directive covered — kept in
+// RunFacts output (machine consumers want the audit trail) but excluded
+// from exit codes and text rendering.
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos        token.Pos
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
-// Run executes the analyzers over one unit, applies the //lint:allow
-// suppressions, folds in directive-hygiene diagnostics (malformed or
-// unknown-analyzer directives), and returns the surviving findings in
-// position order. An analyzer returning an error aborts the run — analyzer
-// bugs must fail loudly, not silently drop findings.
+// Run executes the analyzers over one unit with a throwaway fact set and
+// returns only the unsuppressed findings — the shape the fixture harness
+// and single-package callers want. Cross-package analyses need RunFacts.
 func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunFacts(u, analyzers, NewFactSet())
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunFacts executes the analyzers over one unit against a shared fact set,
+// applies the //lint:allow suppressions (marking, not dropping), folds in
+// directive-hygiene diagnostics (malformed, unknown-analyzer, or stale
+// directives), and returns the findings in position order. An analyzer
+// returning an error aborts the run — analyzer bugs must fail loudly, not
+// silently drop findings.
+func RunFacts(u *Unit, analyzers []*Analyzer, facts *FactSet) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactSet()
+	}
 	dirs := collectDirectives(u)
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -103,14 +149,16 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
+			facts:     facts,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	diags = dirs.filter(u.Fset, diags)
+	dirs.mark(u.Fset, diags)
 	diags = append(diags, dirs.problems...)
+	diags = append(diags, dirs.stale(analyzers)...)
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := u.Fset.Position(diags[i].Pos), u.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {

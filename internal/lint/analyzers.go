@@ -8,7 +8,7 @@ import "strings"
 // into `go vet -vettool`, standalone runs, and the "every analyzer has
 // fixtures" check.
 func All() []*Analyzer {
-	return []*Analyzer{PlanMutate, DetEnc, CtxHygiene, SinkStop}
+	return []*Analyzer{PlanMutate, DetEnc, CtxHygiene, SinkStop, FailCover, ErrWrap, HotAlloc}
 }
 
 // byName resolves an analyzer by its directive name, or nil.

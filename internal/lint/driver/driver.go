@@ -45,6 +45,7 @@ type listedPackage struct {
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
+	Module     *struct{ Path string }
 	Error      *struct{ Err string }
 }
 
@@ -55,7 +56,7 @@ type listedPackage struct {
 func goList(dir string, patterns ...string) ([]*listedPackage, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=Dir,ImportPath,Name,GoFiles,Export,Standard,DepOnly,Incomplete,Error",
+		"-json=Dir,ImportPath,Name,GoFiles,Export,Standard,DepOnly,Incomplete,Module,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

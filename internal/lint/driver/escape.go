@@ -1,0 +1,173 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"subgraphmr/internal/lint"
+)
+
+// The escape gate: `sgmrlint -escapes [packages]`.
+//
+// The AST analyzers cannot see what the optimizer does; whether a value
+// escapes to the heap is the compiler's verdict. The gate gets that
+// verdict from the horse's mouth: it rebuilds the module's packages with
+// -gcflags=-m, collects the escape-analysis diagnostics, and maps every
+// "escapes to heap"/"moved to heap" line that falls inside a
+// //lint:hotpath-annotated function to a hotalloc finding. Generic hot
+// paths (the mapreduce group tables and free lists) compile where they
+// are instantiated, so -m is applied to every in-module package and the
+// diagnostics are attributed by source position, which always points at
+// the annotated declaration's file regardless of which package's build
+// emitted it.
+
+// escapeRE matches the compiler diagnostics that mean a heap allocation
+// on the annotated path. "leaking param" and inline notes are fine — they
+// carry no allocation.
+var escapeRE = regexp.MustCompile(`escapes to heap|moved to heap`)
+
+// mLineRE parses one `-m` diagnostic line: path:line:col: message.
+var mLineRE = regexp.MustCompile(`^(.+?\.go):(\d+)(?::(\d+))?: (.*)$`)
+
+// EscapeGate runs the hotalloc escape check over the module in dir,
+// returning the findings (suppressed ones included, marked). With no
+// patterns it covers the whole module.
+func EscapeGate(dir string, patterns ...string) ([]Finding, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse every in-module package (parser level — the evidence comes
+	// from the compiler, not go/types) and collect the annotated
+	// declarations plus the allow directives.
+	fset := token.NewFileSet()
+	var (
+		hot        []lint.HotpathFunc
+		allFiles   []*ast.File
+		modulePath string
+	)
+	for _, p := range pkgs {
+		if p.Standard || len(p.GoFiles) == 0 || p.Module == nil {
+			continue
+		}
+		if modulePath == "" {
+			modulePath = p.Module.Path
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			full := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", full, err)
+			}
+			files = append(files, f)
+		}
+		allFiles = append(allFiles, files...)
+		hot = append(hot, lint.HotpathFuncs(fset, files)...)
+	}
+	if len(hot) == 0 {
+		return nil, nil
+	}
+	if modulePath == "" {
+		return nil, fmt.Errorf("escape gate: no module packages matched %v", patterns)
+	}
+
+	lines, err := buildWithEscapes(dir, modulePath, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		// A fully cache-hit build can replay zero compiler output on some
+		// toolchains; force a rebuild once rather than passing vacuously.
+		lines, err = buildWithEscapes(dir, modulePath, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("escape gate: go build -gcflags=-m produced no diagnostics even after a forced rebuild; cannot prove the hot paths allocation-free")
+	}
+
+	var findings []Finding
+	seen := make(map[string]bool)
+	for _, ln := range lines {
+		m := mLineRE.FindStringSubmatch(ln)
+		if m == nil || !escapeRE.MatchString(m[4]) {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		file = filepath.Clean(file)
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, fn := range hot {
+			if filepath.Clean(fn.File) != file || line < fn.BeginLine || line > fn.EndLine {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d:%s", file, line, m[4])
+			if seen[key] {
+				continue // the same generic body reported by several instantiating packages
+			}
+			seen[key] = true
+			findings = append(findings, Finding{
+				File:     file,
+				Line:     line,
+				Col:      col,
+				Analyzer: "hotalloc",
+				Message: fmt.Sprintf("%s inside //lint:hotpath %s: the compiler proves a heap allocation on the hot path; keep the value stack-bound or hoist the allocation out",
+					m[4], fn.Name),
+				Suppressed: lint.AllowedAt(fset, allFiles, "hotalloc", file, line),
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].Line < findings[j].Line
+	})
+	return findings, nil
+}
+
+// buildWithEscapes compiles the module's packages with -gcflags=-m and
+// returns the compiler's diagnostic lines. force adds -a, defeating the
+// build cache.
+func buildWithEscapes(dir, modulePath string, force bool) ([]string, error) {
+	pattern := modulePath + "/..."
+	args := []string{"build", "-gcflags=" + pattern + "=-m"}
+	if force {
+		args = append(args, "-a")
+	}
+	args = append(args, pattern)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var lines []string
+	for _, ln := range strings.Split(stderr.String(), "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		lines = append(lines, ln)
+	}
+	return lines, nil
+}

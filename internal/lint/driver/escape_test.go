@@ -1,0 +1,111 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subgraphmr/internal/lint/driver"
+)
+
+// writeEscapeModule lays out a module with one annotated function. body is
+// the Go source of the function's statements; escape decides whether it
+// leaks to the package-level sink.
+func writeEscapeModule(t *testing.T, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module escmod\n\ngo 1.24\n")
+	write("hot.go", `package escmod
+
+var sink *int
+
+// Probe is the annotated function under test.
+//
+//lint:hotpath
+func Probe(vs []int) int {
+`+body+`
+}
+`)
+	return dir
+}
+
+// TestEscapeGateSeededEscape pins the gate's reason to exist: a value the
+// compiler moves to the heap inside a //lint:hotpath function is a
+// finding that names the escaping line.
+func TestEscapeGateSeededEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module with -gcflags=-m")
+	}
+	dir := writeEscapeModule(t, `	s := 0
+	for _, v := range vs {
+		s += v
+	}
+	box := new(int)
+	*box = s
+	sink = box
+	return s`)
+	findings, err := driver.EscapeGate(dir, "./...")
+	if err != nil {
+		t.Fatalf("escape gate: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly one finding, got %v", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "hotalloc" || f.Suppressed {
+		t.Errorf("finding misattributed: %+v", f)
+	}
+	if !strings.Contains(f.Message, "escapes to heap") || !strings.Contains(f.Message, "Probe") {
+		t.Errorf("message must name the escape and the hotpath function: %q", f.Message)
+	}
+	if !strings.HasSuffix(f.File, "hot.go") || f.Line == 0 {
+		t.Errorf("finding must anchor to the escaping line: %+v", f)
+	}
+}
+
+// TestEscapeGateCleanPath: stack-only math inside the annotation passes.
+func TestEscapeGateCleanPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module with -gcflags=-m")
+	}
+	dir := writeEscapeModule(t, `	s := 0
+	for _, v := range vs {
+		s += v
+	}
+	return s`)
+	findings, err := driver.EscapeGate(dir, "./...")
+	if err != nil {
+		t.Fatalf("escape gate: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean hot path flagged: %v", findings)
+	}
+}
+
+// TestEscapeGateAllow: a //lint:allow hotalloc on the escaping line keeps
+// the finding but marks it suppressed, mirroring the AST analyzers.
+func TestEscapeGateAllow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module with -gcflags=-m")
+	}
+	dir := writeEscapeModule(t, `	s := 0
+	//lint:allow hotalloc fixture: documented cold-path allocation
+	box := new(int)
+	*box = s
+	sink = box
+	return s`)
+	findings, err := driver.EscapeGate(dir, "./...")
+	if err != nil {
+		t.Fatalf("escape gate: %v", err)
+	}
+	if len(findings) != 1 || !findings[0].Suppressed {
+		t.Fatalf("want one suppressed finding, got %v", findings)
+	}
+}

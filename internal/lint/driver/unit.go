@@ -36,10 +36,13 @@ type vetConfig struct {
 }
 
 // RunUnit executes one `go vet -vettool` unit of work described by the
-// .cfg file and returns the rendered diagnostics. cmd/go requires the
-// VetxOutput facts file to exist afterwards, so it is written even when
-// there is nothing to report — the sgmrlint analyzers exchange no facts,
-// making an empty file a valid serialization.
+// .cfg file and returns the rendered diagnostics. The .vetx files cmd/go
+// hands over for the unit's dependencies are decoded and merged into the
+// working fact set, and the unit's VetxOutput serializes that merged set —
+// its own analyzers' facts plus everything imported, making fact
+// visibility transitive even when cmd/go only wires direct dependencies.
+// cmd/go requires the VetxOutput file to exist even on failure paths, so
+// an empty set is written before anything that can bail out.
 func RunUnit(cfgFile string) ([]string, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -57,11 +60,23 @@ func RunUnit(cfgFile string) ([]string, error) {
 			return nil, err
 		}
 	}
-	if cfg.VetxOnly {
-		return nil, nil
-	}
 	if c := cfg.Compiler; c != "" && c != "gc" {
 		return nil, fmt.Errorf("unsupported compiler %q", c)
+	}
+
+	facts := lint.NewFactSet()
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			// A dependency's facts being unreadable degrades the analysis
+			// (cross-package checks see less), it must not fail the build.
+			continue
+		}
+		depFacts, err := lint.DecodeFactSet(data)
+		if err != nil {
+			continue
+		}
+		facts.Merge(depFacts)
 	}
 
 	fset := token.NewFileSet()
@@ -89,12 +104,26 @@ func RunUnit(cfgFile string) ([]string, error) {
 		}
 		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
 	}
-	diags, err := lint.Run(unit, lint.All())
+	diags, err := lint.RunFacts(unit, lint.All(), facts)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.VetxOutput != "" {
+		if encoded, err := facts.Encode(); err == nil {
+			if err := os.WriteFile(cfg.VetxOutput, encoded, 0o666); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only unit: cmd/go wants the .vetx, not the findings.
+		return nil, nil
+	}
 	rendered := make([]string, 0, len(diags))
 	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
 		rendered = append(rendered, Render(fset, d))
 	}
 	return rendered, nil

@@ -1,0 +1,545 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrWrap makes PR 9's error taxonomy exhaustive by construction.
+//
+// The public contract: an engine failure surfaces from Run/Stream/
+// Instances (and from the query service's 5xx bodies) as a typed
+// *EngineError{Stage, Job, Cause}; the only sanctioned non-engine errors
+// are pre-execution validation errors built locally and context
+// cancellation (ctx.Err(), passed through unwrapped by design). ErrWrap
+// tracks error returns taint-style across that boundary: within every
+// package it classifies each function as wrap-clean — all of its error
+// returns are sanctioned (nil, sentinels, *EngineError construction,
+// engineErr/fmt.Errorf-of-sanctioned wrapping, ctx.Err(), or calls to
+// other wrap-clean functions) — and exports the clean exported functions
+// as a fact. At the boundary (the root package's Run/Stream/Instances
+// closure and the serve package's failEngine sinks), an error whose
+// origin is not wrap-clean is a diagnostic: it names the return site
+// where a raw os/net/encoding error could escape to a caller that was
+// promised a typed failure.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "trace error returns across the engine's exported boundary: an error " +
+		"escaping Run/Stream/Instances or a serve 5xx without an EngineError wrap " +
+		"(or being a sanctioned validation/cancellation error) is a diagnostic",
+	Run: runErrWrap,
+}
+
+// errwrapState is the per-package fixed-point state.
+type errwrapState struct {
+	pass  *Pass
+	graph *callGraph
+	// clean maps each declaration to its current wrap-clean assumption.
+	// The fixed point starts optimistic (greatest fixed point): recursion
+	// is clean unless a concrete unsanctioned source demotes it.
+	clean map[*cgNode]bool
+	// classifying breaks classification cycles through local variables.
+	classifying map[types.Object]bool
+}
+
+func runErrWrap(pass *Pass) error {
+	st := &errwrapState{
+		pass:        pass,
+		graph:       buildCallGraph(pass),
+		clean:       make(map[*cgNode]bool),
+		classifying: make(map[types.Object]bool),
+	}
+	for _, n := range st.graph.nodes {
+		st.clean[n] = true
+	}
+	// Fixed point: demote any function with an unsanctioned error return
+	// until stable. Demotions only ever flip true->false, so this
+	// terminates in at most len(nodes) rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range st.graph.nodes {
+			if !st.clean[n] {
+				continue
+			}
+			if !st.funcIsClean(n) {
+				st.clean[n] = false
+				changed = true
+			}
+		}
+	}
+
+	// Export the wrap-clean exported functions so dependent packages can
+	// sanction calls into this one.
+	var cleanNames []string
+	for _, n := range st.graph.nodes {
+		if st.clean[n] && n.exported() && n.fn != nil {
+			cleanNames = append(cleanNames, n.fn.FullName())
+		}
+	}
+	sort.Strings(cleanNames)
+	if err := pass.ExportFact("clean", cleanNames); err != nil {
+		return err
+	}
+
+	st.reportBoundary()
+	return nil
+}
+
+// boundaryRootNames are the root-package entry points whose errors reach
+// API consumers.
+var boundaryRootNames = map[string]bool{"Run": true, "Stream": true, "Instances": true}
+
+// inErrwrapScope reports which boundary the package carries: the root
+// package's API closure, serve's failEngine sinks, or none.
+func (st *errwrapState) scope() (rootAPI, serveSinks bool) {
+	path := st.pass.Path
+	if path == "subgraphmr" || path == "errwrap" || strings.HasSuffix(path, "/errwrap") {
+		return true, false
+	}
+	if strings.Contains(path, "internal/serve") {
+		return false, true
+	}
+	return false, false
+}
+
+// reportBoundary emits the diagnostics. Responsibility is placed at the
+// deepest same-package function whose return actually introduces the
+// unsanctioned error: a boundary function returning a dirty same-package
+// callee's error exposes that callee instead of being flagged itself.
+func (st *errwrapState) reportBoundary() {
+	rootAPI, serveSinks := st.scope()
+	if !rootAPI && !serveSinks {
+		return
+	}
+
+	exposed := make(map[*cgNode]bool)
+	var work []*cgNode
+	if rootAPI {
+		for _, n := range st.graph.nodes {
+			if boundaryRootNames[n.decl.Name.Name] && n.decl.Recv == nil {
+				exposed[n] = true
+				work = append(work, n)
+			}
+		}
+	}
+	if serveSinks {
+		// Every function that hands an error to failEngine is a boundary:
+		// that error becomes a 5xx body which the contract says must carry
+		// a stage or be a sanctioned non-engine error.
+		for _, n := range st.graph.nodes {
+			sinkArgs := st.failEngineArgs(n)
+			for _, arg := range sinkArgs {
+				st.checkSource(n, arg, exposed, &work)
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		st.checkReturns(n, exposed, &work, reported)
+	}
+}
+
+// checkReturns classifies every error-typed return operand of n,
+// reporting unsanctioned sources and expanding the exposed set through
+// same-package calls.
+func (st *errwrapState) checkReturns(n *cgNode, exposed map[*cgNode]bool, work *[]*cgNode, reported map[token.Pos]bool) {
+	for _, ret := range st.errorReturns(n) {
+		st.checkSourceReported(n, ret, exposed, work, reported)
+	}
+}
+
+// checkSource is checkSourceReported without duplicate tracking (serve
+// sink arguments are visited once each).
+func (st *errwrapState) checkSource(n *cgNode, e ast.Expr, exposed map[*cgNode]bool, work *[]*cgNode) {
+	st.checkSourceReported(n, e, exposed, work, make(map[token.Pos]bool))
+}
+
+func (st *errwrapState) checkSourceReported(n *cgNode, e ast.Expr, exposed map[*cgNode]bool, work *[]*cgNode, reported map[token.Pos]bool) {
+	verdict, callee := st.classify(n, e)
+	switch verdict {
+	case verdictClean:
+		return
+	case verdictSamePkg:
+		if !exposed[callee] {
+			exposed[callee] = true
+			*work = append(*work, callee)
+		}
+	case verdictDirty:
+		if reported[e.Pos()] {
+			return
+		}
+		reported[e.Pos()] = true
+		st.pass.Reportf(e.Pos(),
+			"error can escape the engine's exported boundary from %s without an EngineError wrap; wrap it with engineErr (or construct EngineError) so callers get the typed failure the contract promises, or sanction it as a local validation error",
+			n.decl.Name.Name)
+	}
+}
+
+type verdict int
+
+const (
+	verdictClean verdict = iota
+	verdictDirty
+	// verdictSamePkg: the value comes from a same-package function that
+	// is not wrap-clean — responsibility moves into that function.
+	verdictSamePkg
+)
+
+// classify decides whether an error-typed expression is a sanctioned
+// source. The third result carries the same-package callee when the
+// verdict is verdictSamePkg.
+func (st *errwrapState) classify(n *cgNode, e ast.Expr) (verdict, *cgNode) {
+	info := st.pass.TypesInfo
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.IsNil() {
+		return verdictClean, nil
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return st.classifyCall(n, e)
+	case *ast.UnaryExpr:
+		// &EngineError{...}
+		if lit, ok := e.X.(*ast.CompositeLit); ok {
+			return st.classifyComposite(lit)
+		}
+	case *ast.CompositeLit:
+		return st.classifyComposite(e)
+	case *ast.Ident:
+		return st.classifyIdent(n, e)
+	case *ast.SelectorExpr:
+		// Imported sentinel: distrib.ErrStopped, syscall.ENOSPC, io.EOF.
+		if obj := info.Uses[e.Sel]; obj != nil && isPackageLevelErrorValue(obj) {
+			return verdictClean, nil
+		}
+	}
+	return verdictDirty, nil
+}
+
+func (st *errwrapState) classifyComposite(lit *ast.CompositeLit) (verdict, *cgNode) {
+	t := st.pass.TypesInfo.TypeOf(lit)
+	if t != nil && isEngineErrorType(t) {
+		return verdictClean, nil
+	}
+	return verdictDirty, nil
+}
+
+// classifyCall sanctions the error-wrapping and error-originating calls
+// the taxonomy allows.
+func (st *errwrapState) classifyCall(n *cgNode, call *ast.CallExpr) (verdict, *cgNode) {
+	fn := calleeFunc(st.pass.TypesInfo, call)
+	if fn == nil {
+		// A call through a function value: if it is a local variable whose
+		// every assigned value is a function literal with sanctioned error
+		// returns (the intParam-style local validation helper), the call is
+		// clean; any other indirect call's origin is unknown.
+		return st.classifyFuncValueCall(n, call)
+	}
+	full := fn.FullName()
+	switch full {
+	case "errors.New":
+		return verdictClean, nil
+	case "context.Cause", "(context.Context).Err":
+		// Cancellation is sanctioned unwrapped by documented contract.
+		return verdictClean, nil
+	case "fmt.Errorf", "errors.Join":
+		// A locally built error is a sanctioned validation error — unless
+		// it wraps a dirty error, which would smuggle a raw failure
+		// through in different clothing.
+		for _, arg := range call.Args {
+			t := st.pass.TypesInfo.TypeOf(arg)
+			if t == nil || !isErrorType(t) {
+				continue
+			}
+			if v, callee := st.classify(n, arg); v != verdictClean {
+				return v, callee
+			}
+		}
+		return verdictClean, nil
+	}
+	if fn.Name() == "engineErr" || isEngineErrorMethod(fn) {
+		return verdictClean, nil
+	}
+	if callee, ok := st.graph.byObj[fn]; ok {
+		if st.clean[callee] {
+			return verdictClean, nil
+		}
+		return verdictSamePkg, callee
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg != st.pass.Pkg {
+		var cleanNames []string
+		if st.pass.ImportFact(pkg.Path(), "clean", &cleanNames) {
+			for _, name := range cleanNames {
+				if name == full {
+					return verdictClean, nil
+				}
+			}
+		}
+	}
+	return verdictDirty, nil
+}
+
+// classifyFuncValueCall classifies a call through a function-valued local
+// variable by classifying the error returns of every function literal
+// assigned to it. Any non-literal assignment (or none at all — a
+// parameter, a field) makes the origin unknown.
+func (st *errwrapState) classifyFuncValueCall(n *cgNode, call *ast.CallExpr) (verdict, *cgNode) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return verdictDirty, nil
+	}
+	v, ok := st.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return verdictDirty, nil
+	}
+	if st.classifying[v] {
+		return verdictClean, nil // recursive closure: optimistic, as for variables
+	}
+	st.classifying[v] = true
+	defer delete(st.classifying, v)
+
+	sources, sawAssign := st.assignmentsTo(n, v)
+	if !sawAssign || len(sources) == 0 {
+		return verdictDirty, nil
+	}
+	for _, src := range sources {
+		lit, ok := ast.Unparen(src).(*ast.FuncLit)
+		if !ok {
+			return verdictDirty, nil
+		}
+		for _, ret := range errorReturnsIn(st.pass.TypesInfo, lit.Type, lit.Body) {
+			if verdict, callee := st.classify(n, ret); verdict != verdictClean {
+				return verdict, callee
+			}
+		}
+	}
+	return verdictClean, nil
+}
+
+// classifyIdent classifies a variable by its assignments: the variable is
+// clean only when every value ever assigned to it is.
+func (st *errwrapState) classifyIdent(n *cgNode, id *ast.Ident) (verdict, *cgNode) {
+	info := st.pass.TypesInfo
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return verdictDirty, nil
+	}
+	if isPackageLevelErrorValue(v) {
+		return verdictClean, nil
+	}
+	if st.classifying[v] {
+		// Self-referential assignment chain (err = wrap(err)): optimistic,
+		// consistent with the greatest-fixed-point direction.
+		return verdictClean, nil
+	}
+	st.classifying[v] = true
+	defer delete(st.classifying, v)
+
+	sources, sawAssign := st.assignmentsTo(n, v)
+	if !sawAssign {
+		// A parameter, field binding, or range variable: origin unknown.
+		return verdictDirty, nil
+	}
+	for _, src := range sources {
+		if verdict, callee := st.classify(n, src); verdict != verdictClean {
+			return verdict, callee
+		}
+	}
+	return verdictClean, nil
+}
+
+// assignmentsTo collects the source expressions assigned to v anywhere in
+// n's declaration (closures included — they share the variable).
+func (st *errwrapState) assignmentsTo(n *cgNode, v *types.Var) (sources []ast.Expr, sawAssign bool) {
+	info := st.pass.TypesInfo
+	isV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return info.Defs[id] == v || info.Uses[id] == v
+	}
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				if !isV(lhs) {
+					continue
+				}
+				sawAssign = true
+				if len(node.Rhs) == len(node.Lhs) {
+					sources = append(sources, node.Rhs[i])
+				} else if len(node.Rhs) == 1 {
+					// Tuple assignment: the call's sanction status covers
+					// all its results.
+					sources = append(sources, node.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range node.Names {
+				if info.Defs[name] != v {
+					continue
+				}
+				if len(node.Values) == 0 {
+					// var err error — the zero value nil is clean; later
+					// assignments are collected separately.
+					sawAssign = true
+				} else if len(node.Values) == len(node.Names) {
+					sawAssign = true
+					sources = append(sources, node.Values[i])
+				} else if len(node.Values) == 1 {
+					sawAssign = true
+					sources = append(sources, node.Values[0])
+				}
+			}
+		}
+		return true
+	})
+	return sources, sawAssign
+}
+
+// errorReturns collects the error-typed operands of n's return
+// statements, resolving naked returns through the named results. Returns
+// inside function literals belong to the literal, not to n — a closure's
+// error goes wherever the closure's caller sends it — so literals are
+// skipped here; their errors surface when they are assigned or returned.
+func (st *errwrapState) errorReturns(n *cgNode) []ast.Expr {
+	return errorReturnsIn(st.pass.TypesInfo, n.decl.Type, n.decl.Body)
+}
+
+// errorReturnsIn is the shared walker behind errorReturns, usable for
+// function literals too.
+func errorReturnsIn(info *types.Info, ftype *ast.FuncType, body *ast.BlockStmt) []ast.Expr {
+	var named []*ast.Ident
+	if res := ftype.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				if t := info.TypeOf(name); t != nil && isErrorType(t) {
+					named = append(named, name)
+				}
+			}
+		}
+	}
+	var out []ast.Expr
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(node.Results) == 0 {
+				for _, id := range named {
+					out = append(out, id)
+				}
+				return true
+			}
+			for _, res := range node.Results {
+				if t := info.TypeOf(res); t != nil && isErrorType(t) {
+					out = append(out, res)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// failEngineArgs returns the error arguments n passes to failEngine — the
+// serve package's 5xx boundary sink.
+func (st *errwrapState) failEngineArgs(n *cgNode) []ast.Expr {
+	info := st.pass.TypesInfo
+	var out []ast.Expr
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok || calleeName(call) != "failEngine" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if t := info.TypeOf(arg); t != nil && isErrorType(t) {
+				out = append(out, arg)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcIsClean reports whether every error return of n is sanctioned under
+// the current clean assumptions.
+func (st *errwrapState) funcIsClean(n *cgNode) bool {
+	for _, ret := range st.errorReturns(n) {
+		if v, _ := st.classify(n, ret); v != verdictClean {
+			return false
+		}
+	}
+	return true
+}
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isEngineErrorType matches *EngineError / EngineError by type name, like
+// planmutate matches QueryPlan — fixtures define their own.
+func isEngineErrorType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "EngineError"
+}
+
+// isEngineErrorMethod reports whether fn is a method on EngineError
+// (Error, Unwrap — their results stay inside the taxonomy).
+func isEngineErrorMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isEngineErrorType(sig.Recv().Type())
+}
+
+// isPackageLevelErrorValue reports whether obj is a package-level error
+// variable or constant — a named sentinel, part of the taxonomy by
+// declaration.
+func isPackageLevelErrorValue(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		if c, ok := obj.(*types.Const); ok {
+			t := c.Type()
+			return t != nil && implementsError(t)
+		}
+		return false
+	}
+	if v.Pkg() == nil {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return implementsError(v.Type())
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil {
+		return false
+	}
+	return types.Implements(t, errIface)
+}

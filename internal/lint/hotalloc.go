@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotAlloc pins PR 4's zero-alloc hot paths as a compile-time property.
+//
+// Functions annotated //lint:hotpath (the CSR probes, the codec append
+// paths, the recycled-batch shuffle placement) are the ones the
+// alloc-regression tests hold at 0 allocs/op. The annotation has two
+// enforcement halves. This analyzer is the AST half: it validates the
+// directive's placement (it must be a function declaration's doc comment)
+// and flags constructs inside annotated functions that always allocate or
+// always hand work to the scheduler — fmt calls and `go` statements have
+// no place on a per-pair or per-probe path. The compiler half is the
+// escape gate (`sgmrlint -escapes`): it rebuilds the module with
+// -gcflags=-m and turns every "escapes to heap"/"moved to heap" line
+// inside an annotated function into a hotalloc diagnostic, so the escape
+// that used to surface as a benchmark regression three PRs later now
+// names its line in CI.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "enforce //lint:hotpath annotations: the directive must sit on a " +
+		"function declaration, annotated functions must avoid always-allocating " +
+		"constructs, and (via `sgmrlint -escapes`) their compiled bodies must " +
+		"produce no escape-analysis heap moves",
+	Run: runHotAlloc,
+}
+
+// hotpathDirective is the annotation prefix.
+const hotpathDirective = "//lint:hotpath"
+
+// isHotpathComment reports whether the comment is a hotpath directive.
+func isHotpathComment(c *ast.Comment) bool {
+	return c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ")
+}
+
+// hasHotpathDirective reports whether a declaration's doc comment carries
+// //lint:hotpath.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isHotpathComment(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Filename(f.Pos())) {
+			continue
+		}
+		// Directive placement: every hotpath comment must belong to a
+		// function declaration's doc group. Anywhere else it silently
+		// annotates nothing — which is exactly the rot this analyzer
+		// exists to prevent.
+		anchored := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if isHotpathComment(c) {
+						anchored[c] = true
+					}
+				}
+			}
+			if hasHotpathDirective(fd.Doc) && fd.Body != nil {
+				checkHotpathBody(pass, fd)
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isHotpathComment(c) && !anchored[c] {
+					pass.Reportf(c.Slash,
+						"//lint:hotpath must be part of a function declaration's doc comment; here it annotates nothing and the escape gate will not see the function")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkHotpathBody flags constructs that allocate (or schedule) on every
+// execution — unconditional disqualifiers for a zero-alloc path, caught
+// without needing the compiler pass.
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement inside hotpath %s: spawning a goroutine allocates and hands the per-call path to the scheduler; hoist it out of the hot path",
+				name)
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "fmt":
+				pass.Reportf(n.Pos(),
+					"%s inside hotpath %s always allocates (interface boxing of arguments); format off the hot path or append manually",
+					fn.FullName(), name)
+			case "errors":
+				pass.Reportf(n.Pos(),
+					"%s inside hotpath %s allocates a new error per call; return a package-level sentinel instead",
+					fn.FullName(), name)
+			}
+		}
+		return true
+	})
+}
+
+// A HotpathFunc locates one annotated declaration for the escape gate.
+type HotpathFunc struct {
+	Name      string
+	File      string
+	BeginLine int
+	EndLine   int
+}
+
+// HotpathFuncs extracts the //lint:hotpath-annotated declarations from
+// parsed (not necessarily type-checked) files — the escape gate runs at
+// parser level, since its evidence comes from the compiler, not go/types.
+func HotpathFuncs(fset *token.FileSet, files []*ast.File) []HotpathFunc {
+	var out []HotpathFunc
+	for _, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		if isTestFile(filename) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasHotpathDirective(fd.Doc) {
+				continue
+			}
+			out = append(out, HotpathFunc{
+				Name:      fd.Name.Name,
+				File:      filename,
+				BeginLine: fset.Position(fd.Pos()).Line,
+				EndLine:   fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	return out
+}
+
+// AllowedAt reports whether an //lint:allow directive for the analyzer
+// covers (file, line) in the parsed files — the escape gate's suppression
+// path, sharing the exact own-line/next-line rule the AST analyzers use.
+func AllowedAt(fset *token.FileSet, files []*ast.File, analyzer, file string, line int) bool {
+	u := &Unit{Fset: fset, Files: files}
+	dirs := collectDirectives(u)
+	return dirs.allow[allowKey{file, line, analyzer}] != nil
+}

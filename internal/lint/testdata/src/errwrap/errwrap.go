@@ -1,0 +1,113 @@
+// Package errwrap is the golden fixture for the errwrap analyzer: errors
+// escaping the Run/Stream/Instances boundary without an EngineError wrap.
+// The package defines its own EngineError/engineErr pair the way the root
+// package does; the analyzer matches them by name, like planmutate
+// matches QueryPlan.
+package errwrap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// EngineError is the fixture's typed failure.
+type EngineError struct {
+	Stage string
+	Cause error
+}
+
+func (e *EngineError) Error() string { return e.Stage + ": " + e.Cause.Error() }
+func (e *EngineError) Unwrap() error { return e.Cause }
+
+// engineErr wraps a cause into the taxonomy.
+func engineErr(stage string, err error) error {
+	return &EngineError{Stage: stage, Cause: err}
+}
+
+// ErrClosed is a package-level sentinel — part of the taxonomy by
+// declaration.
+var ErrClosed = errors.New("errwrap: closed")
+
+// Run leaks a raw os error straight through the boundary.
+func Run(path string) error {
+	_, err := os.ReadFile(path)
+	if err != nil {
+		return err // want "error can escape the engine's exported boundary from Run"
+	}
+	return nil
+}
+
+// Stream mixes only sanctioned sources: cancellation passed through
+// unwrapped by contract, a locally built validation error, a sentinel, a
+// constructed EngineError, and fmt.Errorf wrapping a sanctioned cause.
+func Stream(ctx context.Context, path string, n int) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err := validate(n); err != nil {
+		return err
+	}
+	if n == 1 {
+		return &EngineError{Stage: "check", Cause: ErrClosed}
+	}
+	if n == 2 {
+		return fmt.Errorf("checked: %w", ErrClosed)
+	}
+	if _, err := os.ReadFile(path); err != nil {
+		return engineErr("stream", err)
+	}
+	return ErrClosed
+}
+
+// Instances exposes its helpers: returning a dirty same-package callee's
+// error moves responsibility to that callee's return sites instead of
+// flagging the boundary function.
+func Instances(path string, n int) error {
+	switch n {
+	case 0:
+		return loadGraph(path)
+	case 1:
+		return smuggled(path)
+	case 2:
+		return audited(path)
+	}
+	return nil
+}
+
+// loadGraph is the deepest function introducing the unsanctioned error.
+func loadGraph(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err // want "error can escape the engine's exported boundary from loadGraph"
+	}
+	f.Close()
+	return nil
+}
+
+// smuggled dresses a raw error in fmt.Errorf clothing; wrapping does not
+// sanction a dirty cause.
+func smuggled(path string) error {
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("stat: %w", err) // want "error can escape the engine's exported boundary from smuggled"
+	}
+	return nil
+}
+
+// audited documents an intentional exception: the finding is suppressed
+// and the directive is recorded as used.
+func audited(path string) error {
+	_, err := os.ReadFile(path)
+	//lint:allow errwrap fixture: documented raw passthrough for the suppression test
+	return err
+}
+
+// validate builds its error locally — a sanctioned validation error, even
+// reached from the boundary.
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("errwrap: n must be non-negative, got %d", n)
+	}
+	return nil
+}

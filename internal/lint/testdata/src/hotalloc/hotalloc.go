@@ -1,0 +1,66 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer's AST
+// half: //lint:hotpath placement and always-allocating constructs inside
+// annotated functions. The compiler half (escape analysis) is exercised
+// by the escape-gate tests in the driver package.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// probe is a clean hot path: index math and comparisons only.
+//
+//lint:hotpath
+func probe(row []int32, v int32) bool {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == v
+}
+
+// format allocates on every call: fmt boxes its arguments.
+//
+//lint:hotpath
+func format(v int32) string {
+	return fmt.Sprintf("v=%d", v) // want "fmt.Sprintf inside hotpath format always allocates"
+}
+
+// fail allocates a fresh error per call.
+//
+//lint:hotpath
+func fail(v int32) error {
+	if v < 0 {
+		return errors.New("negative") // want "errors.New inside hotpath fail allocates a new error per call"
+	}
+	return nil
+}
+
+// spawn hands the per-call path to the scheduler.
+//
+//lint:hotpath
+func spawn(ch chan int32, v int32) {
+	go func() { ch <- v }() // want "go statement inside hotpath spawn"
+}
+
+// audited suppresses its finding with a documented reason.
+//
+//lint:hotpath
+func audited(v int32) string {
+	//lint:allow hotalloc fixture: cold error path, formatting is acceptable here
+	return fmt.Sprintf("v=%d", v)
+}
+
+// misplaced directives annotate nothing: below, the directive sits inside
+// a function body rather than on a declaration.
+func misplaced(v int32) int32 {
+	//lint:hotpath
+	// want-1 "//lint:hotpath must be part of a function declaration's doc comment"
+	return v + 1
+}

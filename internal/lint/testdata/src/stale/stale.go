@@ -1,0 +1,26 @@
+// Package stale is the golden fixture for directive hygiene: a
+// well-formed //lint:allow that suppresses nothing is itself a diagnostic
+// — the code it excused was fixed or deleted, and a stale audit note is
+// worse than none.
+package stale
+
+// drain carries a live directive: it suppresses a real sinkstop finding,
+// so it is used, not stale.
+func drain(items []int, sink func(int) bool) {
+	for _, it := range items {
+		//lint:allow sinkstop fixture: full drain on purpose; this directive is live
+		sink(it)
+	}
+}
+
+// checked is the contract done right — and the directive below it excuses
+// nothing, which is exactly what the stale check reports.
+func checked(items []int, yield func(int) bool) {
+	for _, it := range items {
+		//lint:allow sinkstop fixture: the excused call was fixed; the directive outlived it
+		// want-1 "stale //lint:allow sinkstop: it suppresses no diagnostic"
+		if !yield(it) {
+			return
+		}
+	}
+}

@@ -56,6 +56,8 @@ func (l *batchFreeList[K, V]) get(capHint int) []pair[K, V] {
 
 // put recycles a consumed batch. Slots are cleared first so a parked buffer
 // does not pin the previous round's keys and values.
+//
+//lint:hotpath
 func (l *batchFreeList[K, V]) put(b []pair[K, V]) {
 	if cap(b) == 0 {
 		return
@@ -90,7 +92,10 @@ func newGroupTable[K comparable, V any]() *groupTable[K, V] {
 	return &groupTable[K, V]{idx: make(map[K]int32)}
 }
 
-// add records one arrived pair.
+// add records one arrived pair. Slab growth amortizes to O(keys)
+// allocations per partition; no per-pair allocation is permitted here.
+//
+//lint:hotpath
 func (t *groupTable[K, V]) add(k K, v V) {
 	gi, ok := t.idx[k]
 	if !ok {

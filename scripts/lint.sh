@@ -1,16 +1,20 @@
 #!/bin/sh
 # lint.sh — the full static-analysis gate, runnable locally and in CI.
 #
-# Three layers, strictest first:
+# Four layers, strictest first:
 #
 #   1. sgmrlint   — the project's own invariant analyzers (planmutate,
-#                   detenc, ctxhygiene, sinkstop; see internal/lint),
-#                   driven through `go vet -vettool` so findings get go
-#                   vet's per-package caching. Always runs: it needs only
-#                   the go toolchain.
-#   2. staticcheck — general Go correctness/style. Runs when installed
+#                   detenc, ctxhygiene, sinkstop, failcover, errwrap,
+#                   hotalloc; see internal/lint), driven through
+#                   `go vet -vettool` so findings get go vet's per-package
+#                   caching and the cross-package facts flow through .vetx
+#                   files. Always runs: it needs only the go toolchain.
+#   2. escape gate — `sgmrlint -escapes`: rebuild with -gcflags=-m and
+#                   fail on any heap escape the compiler proves inside a
+#                   //lint:hotpath function. Always runs.
+#   3. staticcheck — general Go correctness/style. Runs when installed
 #                   (CI pins the version; see .github/workflows/ci.yml).
-#   3. govulncheck — known-vulnerability scan over the call graph. Runs
+#   4. govulncheck — known-vulnerability scan over the call graph. Runs
 #                   when installed; requires network for the vuln DB.
 #
 # The optional tools are gated on `command -v` rather than installed here:
@@ -24,6 +28,10 @@ cd "$(dirname "$0")/.."
 echo "== sgmrlint (project invariant analyzers) =="
 go build -o /tmp/sgmrlint ./cmd/sgmrlint
 go vet -vettool=/tmp/sgmrlint ./...
+echo "ok"
+
+echo "== sgmrlint -escapes (hotpath escape gate, -gcflags=-m) =="
+/tmp/sgmrlint -escapes ./...
 echo "ok"
 
 if [ -n "${SGMRLINT_ONLY:-}" ]; then
